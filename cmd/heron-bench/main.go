@@ -1,0 +1,263 @@
+// Command heron-bench regenerates the tables and figures of the Heron
+// paper's evaluation (Section V) on the simulated RDMA fabric.
+//
+// Usage:
+//
+//	heron-bench fig4    [-wh 1,2,4,8,16] [-clients 6] [-window 150ms]
+//	heron-bench fig5    [-wh 1,2,4,8,16] [-window 150ms]
+//	heron-bench fig6    [-requests 400]
+//	heron-bench fig7    [-wh 4] [-requests 400]
+//	heron-bench fig8    [-runs 5] [-full]
+//	heron-bench table1  [-window 150ms]
+//	heron-bench ablation
+//	heron-bench all     [-quick]
+//
+// Each subcommand prints the same rows/series the paper reports; see
+// EXPERIMENTS.md for paper-vs-measured notes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"heron/internal/bench"
+	"heron/internal/sim"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	args := os.Args[2:]
+	start := time.Now()
+	var err error
+	switch cmd {
+	case "fig4":
+		err = runFig4(args)
+	case "fig5":
+		err = runFig5(args)
+	case "fig6":
+		err = runFig6(args)
+	case "fig7":
+		err = runFig7(args)
+	case "fig8":
+		err = runFig8(args)
+	case "table1":
+		err = runTable1(args)
+	case "ablation":
+		err = runAblation(args)
+	case "workers":
+		err = runWorkers(args)
+	case "all":
+		err = runAll(args)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "heron-bench %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "[%s completed in %v wall time]\n", cmd, time.Since(start).Round(time.Millisecond))
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: heron-bench {fig4|fig5|fig6|fig7|fig8|table1|ablation|workers|all} [flags]")
+}
+
+// parseWH parses a comma-separated warehouse list.
+func parseWH(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad warehouse count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func runFig4(args []string) error {
+	fs := flag.NewFlagSet("fig4", flag.ExitOnError)
+	wh := fs.String("wh", "1,2,4,8,16", "comma-separated warehouse counts")
+	clients := fs.Int("clients", 0, "clients per partition (0 = default)")
+	window := fs.Duration("window", 0, "measurement window of virtual time (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	counts, err := parseWH(*wh)
+	if err != nil {
+		return err
+	}
+	res, err := bench.RunFig4(counts, *clients, sim.Duration(*window))
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Format())
+	return nil
+}
+
+func runFig5(args []string) error {
+	fs := flag.NewFlagSet("fig5", flag.ExitOnError)
+	wh := fs.String("wh", "1,2,4,8,16", "comma-separated warehouse counts")
+	window := fs.Duration("window", 0, "measurement window of virtual time (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	counts, err := parseWH(*wh)
+	if err != nil {
+		return err
+	}
+	res, err := bench.RunFig5(counts, sim.Duration(*window))
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Format())
+	return nil
+}
+
+func runFig6(args []string) error {
+	fs := flag.NewFlagSet("fig6", flag.ExitOnError)
+	requests := fs.Int("requests", 400, "requests per workload")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	res, err := bench.RunFig6(*requests)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Format())
+	return nil
+}
+
+func runFig7(args []string) error {
+	fs := flag.NewFlagSet("fig7", flag.ExitOnError)
+	wh := fs.Int("wh", 4, "warehouses")
+	requests := fs.Int("requests", 400, "requests per transaction type")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	res, err := bench.RunFig7(*wh, *requests)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Format())
+	return nil
+}
+
+func runFig8(args []string) error {
+	fs := flag.NewFlagSet("fig8", flag.ExitOnError)
+	runs := fs.Int("runs", 5, "repetitions per configuration")
+	full := fs.Bool("full", false, "also recover a full-scale TPCC warehouse (uses ~400MB RAM)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	res, err := bench.RunFig8(*runs, *full)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Format())
+	return nil
+}
+
+func runTable1(args []string) error {
+	fs := flag.NewFlagSet("table1", flag.ExitOnError)
+	window := fs.Duration("window", 0, "measurement window of virtual time (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	res, err := bench.RunTable1(sim.Duration(*window))
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Format())
+	return nil
+}
+
+func runAblation(args []string) error {
+	fs := flag.NewFlagSet("ablation", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	res, err := bench.RunCutoffAblation(nil, 0, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Format())
+	return nil
+}
+
+func runWorkers(args []string) error {
+	fs := flag.NewFlagSet("workers", flag.ExitOnError)
+	wh := fs.Int("wh", 2, "warehouses")
+	window := fs.Duration("window", 0, "measurement window of virtual time (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	res, err := bench.RunWorkerAblation(nil, *wh, sim.Duration(*window))
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Format())
+	return nil
+}
+
+func runAll(args []string) error {
+	fs := flag.NewFlagSet("all", flag.ExitOnError)
+	quick := fs.Bool("quick", false, "smaller configurations for a fast pass")
+	windowFlag := fs.Duration("window", 0, "measurement window of virtual time (0 = default)")
+	reqFlag := fs.Int("requests", 0, "requests per latency workload (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	counts := []int{1, 2, 4, 8, 16}
+	window := sim.Duration(0)
+	requests := 400
+	runs := 5
+	if *quick {
+		counts = []int{1, 2, 4}
+		window = 60 * sim.Millisecond
+		requests = 100
+		runs = 2
+	}
+	if *windowFlag > 0 {
+		window = sim.Duration(*windowFlag)
+	}
+	if *reqFlag > 0 {
+		requests = *reqFlag
+	}
+	steps := []struct {
+		name string
+		fn   func() (interface{ Format() string }, error)
+	}{
+		{"fig4", func() (interface{ Format() string }, error) { return bench.RunFig4(counts, 0, window) }},
+		{"fig5", func() (interface{ Format() string }, error) { return bench.RunFig5(counts, window) }},
+		{"fig6", func() (interface{ Format() string }, error) { return bench.RunFig6(requests) }},
+		{"fig7", func() (interface{ Format() string }, error) { return bench.RunFig7(4, requests) }},
+		{"table1", func() (interface{ Format() string }, error) { return bench.RunTable1(window) }},
+		{"fig8", func() (interface{ Format() string }, error) { return bench.RunFig8(runs, !*quick) }},
+		{"ablation", func() (interface{ Format() string }, error) { return bench.RunCutoffAblation(nil, 0, window) }},
+		{"workers", func() (interface{ Format() string }, error) { return bench.RunWorkerAblation(nil, 2, window) }},
+	}
+	for _, step := range steps {
+		t0 := time.Now()
+		res, err := step.fn()
+		if err != nil {
+			return fmt.Errorf("%s: %w", step.name, err)
+		}
+		fmt.Printf("==================== %s ====================\n", step.name)
+		fmt.Print(res.Format())
+		fmt.Printf("[%s: %v wall time]\n\n", step.name, time.Since(t0).Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+// Command heron-trace runs a TPCC workload on Heron and writes a
+// per-request CSV trace to stdout: one row per completed request with its
+// latency split into ordering, coordination, and execution — the raw data
+// behind figures like the paper's Fig. 6, ready for external plotting.
+//
+// Usage:
+//
+//	heron-trace [-wh 4] [-clients 2] [-requests 2000] [-seed 1] [-workers 1]
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"heron/internal/bench"
+	"heron/internal/core"
+	"heron/internal/multicast"
+	"heron/internal/sim"
+	"heron/internal/tpcc"
+)
+
+// row is one completed request.
+type row struct {
+	kind     tpcc.TxnKind
+	parts    int
+	submit   sim.Time
+	total    sim.Duration
+	ordering sim.Duration
+	coord    sim.Duration
+	exec     sim.Duration
+}
+
+// collector correlates client submissions with replica traces.
+type collector struct {
+	recs map[multicast.MsgID]core.TraceRecord
+}
+
+func (c *collector) RequestDone(part core.PartitionID, rank int, id multicast.MsgID, rec core.TraceRecord) {
+	c.recs[id] = rec
+}
+
+func main() {
+	wh := flag.Int("wh", 4, "warehouses (= partitions)")
+	clients := flag.Int("clients", 2, "closed-loop clients per partition")
+	requests := flag.Int("requests", 2000, "total requests to trace")
+	seed := flag.Int64("seed", 1, "workload seed")
+	workers := flag.Int("workers", 1, "execution workers per replica (>1 enables the parallel extension)")
+	flag.Parse()
+
+	if err := run(*wh, *clients, *requests, *seed, *workers); err != nil {
+		fmt.Fprintln(os.Stderr, "heron-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(wh, clientsPerPart, totalRequests int, seed int64, workers int) error {
+	s := sim.NewScheduler()
+	opt := bench.DefaultOptions(wh)
+	opt.Seed = seed
+	opt.ExecWorkers = workers
+	d, _, err := bench.BuildHeron(s, opt)
+	if err != nil {
+		return err
+	}
+	// Trace at rank 0 of every partition; rows use the home partition's
+	// record (the replica executing the full transaction).
+	sinks := make([]*collector, wh)
+	for g := 0; g < wh; g++ {
+		sinks[g] = &collector{recs: make(map[multicast.MsgID]core.TraceRecord)}
+		d.Replica(core.PartitionID(g), 0).SetTracer(sinks[g])
+	}
+
+	type pending struct {
+		r    row
+		id   multicast.MsgID
+		home int
+	}
+	var completed []pending
+	done := false
+	nClients := clientsPerPart * wh
+	perClient := (totalRequests + nClients - 1) / nClients
+	remaining := nClients
+	for ci := 0; ci < nClients; ci++ {
+		ci := ci
+		cl := d.NewClient()
+		w := tpcc.NewWorkload(seed+int64(ci)*104729, wh, opt.Scale)
+		w.HomeWID = ci%wh + 1
+		s.Spawn(fmt.Sprintf("trace-client%d", ci), func(p *sim.Proc) {
+			defer func() {
+				if remaining--; remaining == 0 {
+					done = true
+				}
+			}()
+			for i := 0; i < perClient; i++ {
+				txn := w.Next()
+				parts := txn.Partitions()
+				t0 := p.Now()
+				if _, err := cl.Submit(p, parts, txn.Encode()); err != nil {
+					return
+				}
+				completed = append(completed, pending{
+					r: row{
+						kind:   txn.Kind,
+						parts:  len(parts),
+						submit: t0,
+						total:  sim.Duration(p.Now() - t0),
+					},
+					id:   cl.LastMsgID(),
+					home: int(tpcc.PartitionOfWarehouse(int(txn.WID))),
+				})
+			}
+		})
+	}
+	// Advance in slices so the idle tail is not simulated.
+	deadline := sim.Time(60 * sim.Second)
+	for !done && s.Now() < deadline {
+		if err := s.RunUntil(s.Now() + sim.Time(5*sim.Millisecond)); err != nil {
+			return err
+		}
+	}
+
+	out := csv.NewWriter(os.Stdout)
+	defer out.Flush()
+	if err := out.Write([]string{"kind", "partitions", "submit_ns", "total_ns", "ordering_ns", "coordination_ns", "execution_ns"}); err != nil {
+		return err
+	}
+	for _, pc := range completed {
+		rec, ok := sinks[pc.home].recs[pc.id]
+		if ok {
+			pc.r.ordering = sim.Duration(rec.Delivered - pc.r.submit)
+			pc.r.coord = rec.CoordPhase2 + rec.CoordPhase4
+			pc.r.exec = rec.Exec
+		}
+		err := out.Write([]string{
+			pc.r.kind.String(),
+			strconv.Itoa(pc.r.parts),
+			strconv.FormatInt(int64(pc.r.submit), 10),
+			strconv.FormatInt(int64(pc.r.total), 10),
+			strconv.FormatInt(int64(pc.r.ordering), 10),
+			strconv.FormatInt(int64(pc.r.coord), 10),
+			strconv.FormatInt(int64(pc.r.exec), 10),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "traced %d requests over %.1fms of virtual time\n",
+		len(completed), float64(s.Now())/1e6)
+	return nil
+}

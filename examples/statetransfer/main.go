@@ -1,0 +1,130 @@
+// State transfer walk-through: a lagger falls behind its partition and
+// recovers with Heron's state synchronization protocol (Section III-B,
+// Algorithm 3; evaluated in Section V-E).
+//
+// One replica of partition 0 is artificially slowed. Multi-partition
+// requests keep overwriting an object in partition 1, so by the time the
+// slow replica tries to read it remotely, BOTH versions in the dual-
+// versioned slot are newer than the request it is executing — the lagger
+// condition. It then writes a state-transfer request into its peers'
+// state-transfer memory, a responder streams the missing slots (32 KB
+// one-sided writes) plus a serialized snapshot of the auxiliary state,
+// and the lagger fast-forwards past the synchronized requests.
+//
+// Run with:
+//
+//	go run ./examples/statetransfer
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"heron/internal/core"
+	"heron/internal/multicast"
+	"heron/internal/rdma"
+	"heron/internal/sim"
+	"heron/internal/store"
+)
+
+// rmwApp: every request reads a hot object in partition 1 and rewrites it
+// plus a mirror object in partition 0.
+type rmwApp struct {
+	part core.PartitionID
+}
+
+const (
+	hotOID    = store.OID(1<<32 | 1) // partition 1
+	mirrorOID = store.OID(0<<32 | 1) // partition 0
+)
+
+var parter = core.PartitionerFunc(func(oid store.OID) core.PartitionID {
+	return core.PartitionID(uint64(oid) >> 32)
+})
+
+func (a *rmwApp) ReadSet(req *core.Request) []store.OID {
+	return []store.OID{hotOID}
+}
+
+func (a *rmwApp) Execute(ctx *core.ExecContext) core.Outcome {
+	v := binary.LittleEndian.Uint64(ctx.Values[hotOID])
+	buf := make([]byte, 8)
+	binary.LittleEndian.PutUint64(buf, v+1)
+	return core.Outcome{
+		Writes:   []core.Write{{OID: hotOID, Val: buf}, {OID: mirrorOID, Val: buf}},
+		Response: buf,
+		CPU:      time1us(),
+	}
+}
+
+func time1us() sim.Duration { return sim.Microsecond }
+
+func main() {
+	s := sim.NewScheduler()
+	layout := [][]rdma.NodeID{{1, 2, 3}, {4, 5, 6}}
+	cfg := core.DefaultConfig(multicast.DefaultConfig(layout))
+	cfg.StoreCapacity = 1 << 12
+	// Disable the anti-lagger cut-off so the slow replica actually lags
+	// (the ablation benchmark shows the cut-off preventing exactly this).
+	cfg.CutoffDelay = 0
+
+	d, err := core.NewDeployment(s, cfg,
+		func(part core.PartitionID, rank int) core.Application { return &rmwApp{part: part} },
+		parter)
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = d.PopulateAll(func(part core.PartitionID, rank int, rep *core.Replica) error {
+		oid := mirrorOID
+		if part == 1 {
+			oid = hotOID
+		}
+		if err := rep.Store().Register(oid, 8); err != nil {
+			return err
+		}
+		return rep.Store().Init(oid, make([]byte, 8))
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	d.Start()
+
+	// Make partition 0's rank-2 replica slow: + 200us per request.
+	slow := d.Replica(0, 2)
+	slow.SetSlow(200 * sim.Microsecond)
+
+	cl := d.NewClient()
+	const requests = 30
+	s.Spawn("client", func(p *sim.Proc) {
+		for i := 0; i < requests; i++ {
+			if _, err := cl.Submit(p, []core.PartitionID{0, 1}, []byte{byte(i)}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Printf("t=%.2fms: client finished %d multi-partition requests\n",
+			float64(p.Now())/1e6, requests)
+	})
+	// Let the slow replica catch up (it keeps processing after the
+	// client is done; state transfers let it skip whole stretches).
+	if err := s.RunUntil(sim.Time(200 * sim.Millisecond)); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("slow replica: executed=%d skipped=%d state-transfers=%d\n",
+		slow.Executed(), slow.Skipped(), slow.StateTransfers())
+	if slow.StateTransfers() == 0 {
+		log.Fatal("expected the slow replica to recover via state transfer")
+	}
+
+	// The recovered replica's state matches a fast peer's, byte for byte.
+	fast := d.Replica(0, 0)
+	fv, ft, _ := fast.Store().Get(mirrorOID)
+	sv, st, _ := slow.Store().Get(mirrorOID)
+	fmt.Printf("fast replica mirror=%d@ts=%d, recovered replica mirror=%d@ts=%d\n",
+		binary.LittleEndian.Uint64(fv), ft, binary.LittleEndian.Uint64(sv), st)
+	if binary.LittleEndian.Uint64(fv) != binary.LittleEndian.Uint64(sv) || ft != st {
+		log.Fatal("recovered replica diverged")
+	}
+	fmt.Println("recovery verified: lagger state identical to its partition peers")
+}

@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"heron/internal/sim"
+)
+
+// Fig4Row is one warehouse-count column of Figure 4: maximum throughput
+// of the four systems/workloads.
+type Fig4Row struct {
+	Warehouses int
+	Ramcast    float64 // ordering only
+	HeronNull  float64 // ordering + coordination, null execution
+	TPCC       float64 // full TPCC
+	LocalTPCC  float64 // TPCC with local-only requests
+}
+
+// Fig4Result is the full figure.
+type Fig4Result struct {
+	Rows []Fig4Row
+}
+
+// RunFig4 regenerates Figure 4: maximum throughput of RamCast, Heron
+// (null requests), TPCC, and local-only TPCC as partitions scale.
+func RunFig4(warehouseCounts []int, clientsPerPartition int, window sim.Duration) (*Fig4Result, error) {
+	if len(warehouseCounts) == 0 {
+		warehouseCounts = []int{1, 2, 4, 8, 16}
+	}
+	res := &Fig4Result{}
+	for _, wh := range warehouseCounts {
+		opt := DefaultOptions(wh)
+		if clientsPerPartition > 0 {
+			opt.ClientsPerPartition = clientsPerPartition
+		}
+		if window > 0 {
+			opt.Window = window
+		}
+		row := Fig4Row{Warehouses: wh}
+
+		rc, err := RunRamcast(opt)
+		if err != nil {
+			return nil, fmt.Errorf("fig4 ramcast %dWH: %w", wh, err)
+		}
+		row.Ramcast = rc.Throughput
+
+		nullOpt := opt
+		nullOpt.NullRequests = true
+		hn, err := RunHeron(nullOpt)
+		if err != nil {
+			return nil, fmt.Errorf("fig4 heron-null %dWH: %w", wh, err)
+		}
+		row.HeronNull = hn.Throughput
+
+		tp, err := RunHeron(opt)
+		if err != nil {
+			return nil, fmt.Errorf("fig4 tpcc %dWH: %w", wh, err)
+		}
+		row.TPCC = tp.Throughput
+
+		localOpt := opt
+		localOpt.LocalOnly = true
+		lt, err := RunHeron(localOpt)
+		if err != nil {
+			return nil, fmt.Errorf("fig4 local-tpcc %dWH: %w", wh, err)
+		}
+		row.LocalTPCC = lt.Throughput
+
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Format renders the figure as the paper's bar groups, in text.
+func (r *Fig4Result) Format() string {
+	var b strings.Builder
+	b.WriteString("Figure 4: max throughput (requests/s) vs number of warehouses\n")
+	fmt.Fprintf(&b, "%4s  %12s  %12s  %12s  %12s\n", "WH", "Ramcast", "Heron(null)", "Tpcc", "Local Tpcc")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%4d  %12.0f  %12.0f  %12.0f  %12.0f\n",
+			row.Warehouses, row.Ramcast, row.HeronNull, row.TPCC, row.LocalTPCC)
+	}
+	if len(r.Rows) > 1 {
+		base := r.Rows[0]
+		b.WriteString("scaling factors relative to 1WH:\n")
+		for _, row := range r.Rows[1:] {
+			fmt.Fprintf(&b, "%4d  %12.2fx %12.2fx %12.2fx %12.2fx\n", row.Warehouses,
+				row.Ramcast/base.Ramcast, row.HeronNull/base.HeronNull,
+				row.TPCC/base.TPCC, row.LocalTPCC/base.LocalTPCC)
+		}
+	}
+	return b.String()
+}

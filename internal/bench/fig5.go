@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"heron/internal/sim"
+)
+
+// Fig5Row compares Heron and DynaStar at one warehouse count.
+type Fig5Row struct {
+	Warehouses       int
+	HeronTput        float64
+	DynaStarTput     float64
+	HeronLatency     sim.Duration
+	DynaStarLatency  sim.Duration
+	TputRatio        float64
+	LatencyRatio     float64
+	HeronCompleted   int
+	DynaStarComplete int
+}
+
+// Fig5Result is the full figure.
+type Fig5Result struct {
+	Rows []Fig5Row
+}
+
+// RunFig5 regenerates Figure 5: peak throughput and latency of Heron vs
+// DynaStar under TPCC.
+func RunFig5(warehouseCounts []int, window sim.Duration) (*Fig5Result, error) {
+	if len(warehouseCounts) == 0 {
+		warehouseCounts = []int{1, 2, 4, 8, 16}
+	}
+	res := &Fig5Result{}
+	for _, wh := range warehouseCounts {
+		opt := DefaultOptions(wh)
+		if window > 0 {
+			opt.Window = window
+		}
+		h, err := RunHeron(opt)
+		if err != nil {
+			return nil, fmt.Errorf("fig5 heron %dWH: %w", wh, err)
+		}
+		dOpt := opt
+		dOpt.ClientsPerPartition = 12 // higher latency needs more closed-loop clients to saturate
+		dOpt.Window = opt.Window * 2  // and a longer window for sample counts
+		d, err := RunDynaStar(dOpt)
+		if err != nil {
+			return nil, fmt.Errorf("fig5 dynastar %dWH: %w", wh, err)
+		}
+		row := Fig5Row{
+			Warehouses:       wh,
+			HeronTput:        h.Throughput,
+			DynaStarTput:     d.Throughput,
+			HeronLatency:     h.Latency.Mean(),
+			DynaStarLatency:  d.Latency.Mean(),
+			HeronCompleted:   h.Completed,
+			DynaStarComplete: d.Completed,
+		}
+		if d.Throughput > 0 {
+			row.TputRatio = h.Throughput / d.Throughput
+		}
+		if h.Latency.Mean() > 0 {
+			row.LatencyRatio = float64(d.Latency.Mean()) / float64(h.Latency.Mean())
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Format renders the figure.
+func (r *Fig5Result) Format() string {
+	var b strings.Builder
+	b.WriteString("Figure 5: Heron vs DynaStar under TPCC\n")
+	fmt.Fprintf(&b, "%4s  %14s  %14s  %8s  %12s  %12s  %8s\n",
+		"WH", "Heron tput/s", "DynaStar t/s", "ratio", "Heron lat", "DynaStar lat", "ratio")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%4d  %14.0f  %14.0f  %7.1fx  %12s  %12s  %7.1fx\n",
+			row.Warehouses, row.HeronTput, row.DynaStarTput, row.TputRatio,
+			fmtDur(row.HeronLatency), fmtDur(row.DynaStarLatency), row.LatencyRatio)
+	}
+	return b.String()
+}

@@ -1,0 +1,225 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+
+	"heron/internal/core"
+	"heron/internal/multicast"
+	"heron/internal/rdma"
+	"heron/internal/sim"
+	"heron/internal/store"
+	"heron/internal/tpcc"
+)
+
+// Options control a measurement run.
+type Options struct {
+	Warehouses int
+	Replicas   int
+	Scale      tpcc.Scale
+	// ClientsPerPartition drives the closed loop; "enough to saturate"
+	// per Section V-B for throughput runs, 1 for latency runs.
+	ClientsPerPartition int
+	Warmup              sim.Duration
+	Window              sim.Duration
+	Seed                int64
+	// Workload shaping.
+	LocalOnly       bool
+	FixedPartitions int
+	Mix             *tpcc.Mix
+	// NullRequests replaces TPCC execution with empty requests that keep
+	// the TPCC destination-set shape (Fig. 4's "Heron" series).
+	NullRequests bool
+	// CutoffDelay overrides the anti-lagger cut-off (negative = default).
+	CutoffDelay sim.Duration
+	// ExecWorkers enables the multi-threaded execution extension (>1).
+	ExecWorkers int
+}
+
+// DefaultOptions returns throughput-run options for a warehouse count.
+func DefaultOptions(warehouses int) Options {
+	return Options{
+		Warehouses:          warehouses,
+		Replicas:            3,
+		Scale:               tpcc.SmallScale(),
+		ClientsPerPartition: 6,
+		Warmup:              20 * sim.Millisecond,
+		Window:              150 * sim.Millisecond,
+		Seed:                1,
+		CutoffDelay:         -1,
+	}
+}
+
+// Layout builds the node layout for a deployment.
+func Layout(warehouses, replicas int) [][]rdma.NodeID {
+	layout := make([][]rdma.NodeID, warehouses)
+	id := rdma.NodeID(1)
+	for g := range layout {
+		for r := 0; r < replicas; r++ {
+			layout[g] = append(layout[g], id)
+			id++
+		}
+	}
+	return layout
+}
+
+// storeCapacityFor sizes the per-replica store region for a scale.
+func storeCapacityFor(scale tpcc.Scale) int {
+	return scale.Items*store.SlotSize(tpcc.StockMaxBytes) +
+		scale.DistrictsPerWH*scale.CustomersPerDistrict*store.SlotSize(tpcc.CustomerMaxBytes) +
+		1<<16
+}
+
+// HeronRun is the outcome of one Heron measurement.
+type HeronRun struct {
+	Completed  int
+	Throughput float64 // requests per second in the window
+	Latency    *LatencyRecorder
+	// LatencyByKind and latency split by request shape.
+	LatencyByKind  map[tpcc.TxnKind]*LatencyRecorder
+	LatencySingle  *LatencyRecorder
+	LatencyMulti   *LatencyRecorder
+	Deployment     *core.Deployment
+	StateTransfers uint64
+}
+
+// nullApp executes empty requests (no reads, no writes, no CPU), keeping
+// only Heron's ordering + coordination path — Fig. 4's "Heron" series.
+type nullApp struct{}
+
+func (nullApp) ReadSet(req *core.Request) []store.OID { return nil }
+func (nullApp) Execute(ctx *core.ExecContext) core.Outcome {
+	return core.Outcome{Response: []byte{1}}
+}
+
+// BuildHeron constructs a started Heron deployment per the options.
+func BuildHeron(s *sim.Scheduler, opt Options) (*core.Deployment, *tpcc.Dataset, error) {
+	layout := Layout(opt.Warehouses, opt.Replicas)
+	ds := tpcc.NewDataset(opt.Seed, opt.Warehouses, opt.Scale)
+	cfg := core.DefaultConfig(multicast.DefaultConfig(layout))
+	cfg.StoreCapacity = storeCapacityFor(opt.Scale)
+	if opt.NullRequests {
+		cfg.StoreCapacity = 1 << 16
+	}
+	if opt.CutoffDelay >= 0 {
+		cfg.CutoffDelay = opt.CutoffDelay
+	}
+	cfg.ExecWorkers = opt.ExecWorkers
+	var factory core.AppFactory
+	if opt.NullRequests {
+		factory = func(part core.PartitionID, rank int) core.Application { return nullApp{} }
+	} else {
+		factory = tpcc.NewAppFactory(ds, tpcc.DefaultCostModel())
+	}
+	d, err := core.NewDeployment(s, cfg, factory, tpcc.Partitioner)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !opt.NullRequests {
+		err = d.PopulateAll(func(part core.PartitionID, rank int, rep *core.Replica) error {
+			return rep.App().(*tpcc.App).Populate(rep.Store())
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	d.Start()
+	return d, ds, nil
+}
+
+// RunHeron measures Heron under the configured TPCC workload: closed-loop
+// clients, a warmup, then a measurement window.
+func RunHeron(opt Options) (*HeronRun, error) {
+	s := sim.NewScheduler()
+	d, _, err := BuildHeron(s, opt)
+	if err != nil {
+		return nil, err
+	}
+	run := &HeronRun{
+		Latency:       &LatencyRecorder{},
+		LatencyByKind: make(map[tpcc.TxnKind]*LatencyRecorder),
+		LatencySingle: &LatencyRecorder{},
+		LatencyMulti:  &LatencyRecorder{},
+		Deployment:    d,
+	}
+	warmupEnd := sim.Time(opt.Warmup)
+	measureEnd := warmupEnd + sim.Time(opt.Window)
+
+	nClients := opt.ClientsPerPartition * opt.Warehouses
+	for ci := 0; ci < nClients; ci++ {
+		ci := ci
+		cl := d.NewClient()
+		w := tpcc.NewWorkload(opt.Seed+int64(ci)*7919, opt.Warehouses, opt.Scale)
+		w.LocalOnly = opt.LocalOnly
+		w.FixedPartitions = opt.FixedPartitions
+		w.Mix = opt.Mix
+		w.HomeWID = ci%opt.Warehouses + 1
+		s.Spawn(fmt.Sprintf("bench-client%d", ci), func(p *sim.Proc) {
+			for {
+				txn := w.Next()
+				parts := txn.Partitions()
+				t0 := p.Now()
+				if _, err := cl.Submit(p, parts, txn.Encode()); err != nil {
+					return
+				}
+				t1 := p.Now()
+				if t1 > measureEnd {
+					return
+				}
+				if t0 >= warmupEnd {
+					lat := sim.Duration(t1 - t0)
+					run.Completed++
+					run.Latency.Add(lat)
+					rec := run.LatencyByKind[txn.Kind]
+					if rec == nil {
+						rec = &LatencyRecorder{}
+						run.LatencyByKind[txn.Kind] = rec
+					}
+					rec.Add(lat)
+					if len(parts) > 1 {
+						run.LatencyMulti.Add(lat)
+					} else {
+						run.LatencySingle.Add(lat)
+					}
+				}
+			}
+		})
+	}
+	if err := s.RunUntil(measureEnd + sim.Time(20*sim.Millisecond)); err != nil {
+		return nil, err
+	}
+	run.Throughput = Throughput(run.Completed, opt.Window)
+	for g := 0; g < d.Partitions(); g++ {
+		for r := 0; r < opt.Replicas; r++ {
+			run.StateTransfers += d.Replica(core.PartitionID(g), r).StateTransfers()
+		}
+	}
+	releaseMemory()
+	return run, nil
+}
+
+// releaseMemory returns freed heap to the OS between measurement runs;
+// back-to-back deployments otherwise accumulate MADV_FREE'd pages that
+// the OOM killer still counts.
+func releaseMemory() {
+	runtime.GC()
+	debug.FreeOSMemory()
+}
+
+// runUntilDone advances virtual time in slices until the flag is set or
+// the virtual deadline passes — long-lived background processes
+// (heartbeats, control loops) would otherwise keep the event queue busy
+// long after the measurement finished.
+func runUntilDone(s *sim.Scheduler, done *bool, max sim.Duration) error {
+	deadline := s.Now() + sim.Time(max)
+	for !*done && s.Now() < deadline {
+		if err := s.RunUntil(s.Now() + sim.Time(5*sim.Millisecond)); err != nil {
+			return err
+		}
+	}
+	if !*done {
+		return fmt.Errorf("bench: run did not complete within %v of virtual time", max)
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"heron/internal/sim"
+)
+
+// WorkerRow is one point of the multi-threaded execution ablation
+// (Section III-D.1's extension, implemented in core's parallel executor).
+type WorkerRow struct {
+	Workers    int
+	Throughput float64
+	Latency    sim.Duration
+}
+
+// WorkerResult is the full ablation.
+type WorkerResult struct {
+	Rows []WorkerRow
+}
+
+// RunWorkerAblation sweeps the execution worker count under a local-only
+// TPCC workload (single-partition requests are what the extension
+// parallelizes; Delivery and Stock-Level still execute as barriers).
+func RunWorkerAblation(workerCounts []int, warehouses int, window sim.Duration) (*WorkerResult, error) {
+	if len(workerCounts) == 0 {
+		workerCounts = []int{1, 2, 4, 8}
+	}
+	if warehouses <= 0 {
+		warehouses = 2
+	}
+	if window <= 0 {
+		window = 100 * sim.Millisecond
+	}
+	res := &WorkerResult{}
+	for _, workers := range workerCounts {
+		opt := DefaultOptions(warehouses)
+		opt.Window = window
+		opt.LocalOnly = true
+		opt.ClientsPerPartition = 12 // enough concurrency to feed workers
+		opt.ExecWorkers = workers
+		r, err := RunHeron(opt)
+		if err != nil {
+			return nil, fmt.Errorf("workers=%d: %w", workers, err)
+		}
+		res.Rows = append(res.Rows, WorkerRow{
+			Workers:    workers,
+			Throughput: r.Throughput,
+			Latency:    r.Latency.Mean(),
+		})
+	}
+	return res, nil
+}
+
+// Format renders the ablation.
+func (r *WorkerResult) Format() string {
+	var b strings.Builder
+	b.WriteString("Multi-threaded execution ablation (local-only TPCC)\n")
+	fmt.Fprintf(&b, "%8s  %12s  %10s  %8s\n", "workers", "tput/s", "latency", "speedup")
+	base := 0.0
+	for _, row := range r.Rows {
+		if base == 0 {
+			base = row.Throughput
+		}
+		fmt.Fprintf(&b, "%8d  %12.0f  %10s  %7.2fx\n",
+			row.Workers, row.Throughput, fmtDur(row.Latency), row.Throughput/base)
+	}
+	return b.String()
+}

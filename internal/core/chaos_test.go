@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"heron/internal/lincheck"
+	"heron/internal/sim"
+	"heron/internal/store"
+)
+
+// kvModel is the sequential specification of kvApp for the checker:
+// state maps OIDs to values; an operation sums its read set plus `add`,
+// stores the sum into every write OID, and returns the sum.
+func kvModel() lincheck.Model {
+	type state = map[store.OID]uint64
+	clone := func(s state) state {
+		c := make(state, len(s))
+		for k, v := range s {
+			c[k] = v
+		}
+		return c
+	}
+	return lincheck.Model{
+		Init: func() any { return state{} },
+		Step: func(st any, input any) (any, any) {
+			s := st.(state)
+			req := input.(*kvReq)
+			sum := req.add
+			for _, oid := range req.reads {
+				sum += s[oid]
+			}
+			c := clone(s)
+			for _, oid := range req.writes {
+				c[oid] = sum
+			}
+			return c, sum
+		},
+		Hash: func(st any) string {
+			s := st.(state)
+			keys := make([]store.OID, 0, len(s))
+			for k := range s {
+				keys = append(keys, k)
+			}
+			sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+			out := ""
+			for _, k := range keys {
+				out += fmt.Sprintf("%d=%d;", k, s[k])
+			}
+			return out
+		},
+		EqualOutput: func(observed, model any) bool {
+			return observed.(uint64) == model.(uint64)
+		},
+	}
+}
+
+// TestChaosLinearizability drives random reads/writes/RMWs from
+// concurrent clients — across partitions, with a replica crash injected —
+// records the full concurrent history with virtual-time intervals, and
+// verifies it against the sequential specification with the
+// linearizability checker. This is the paper's Section III-C correctness
+// claim, machine-checked.
+func TestChaosLinearizability(t *testing.T) {
+	for _, seed := range []int64{2, 13, 37} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			s, d := testDeployment(t, 2, 3, 3)
+			const clients = 3
+			const perClient = 14 // 42 ops total, under the checker's 64 bound
+
+			var mu []lincheck.Operation // appended by client procs (virtual time: no data race)
+			s.After(4*sim.Millisecond, func() {
+				d.Replica(int64ToPart(seed)%2, 2).Crash()
+			})
+			for ci := 0; ci < clients; ci++ {
+				ci := ci
+				cl := d.NewClient()
+				rng := rand.New(rand.NewSource(seed*1000 + int64(ci)))
+				s.Spawn(fmt.Sprintf("chaos%d", ci), func(p *sim.Proc) {
+					for i := 0; i < perClient; i++ {
+						req := &kvReq{add: uint64(rng.Intn(100))}
+						dstSet := map[PartitionID]bool{}
+						nReads := rng.Intn(3)
+						for j := 0; j < nReads; j++ {
+							part := PartitionID(rng.Intn(2))
+							dstSet[part] = true
+							req.reads = append(req.reads, kvOID(part, uint32(rng.Intn(3))))
+						}
+						nWrites := 1 + rng.Intn(2)
+						for j := 0; j < nWrites; j++ {
+							part := PartitionID(rng.Intn(2))
+							dstSet[part] = true
+							req.writes = append(req.writes, kvOID(part, uint32(rng.Intn(3))))
+						}
+						var dst []PartitionID
+						for part := range dstSet {
+							dst = append(dst, part)
+						}
+						sort.Slice(dst, func(a, b int) bool { return dst[a] < dst[b] })
+						call := int64(p.Now())
+						resp, err := cl.Submit(p, dst, encodeKVReq(req))
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						mu = append(mu, lincheck.Operation{
+							ClientID: ci,
+							Input:    req,
+							Output:   decodeKVVal(resp[dst[0]]),
+							Call:     call,
+							Return:   int64(p.Now()),
+						})
+						if rng.Intn(2) == 0 {
+							p.Sleep(sim.Duration(rng.Intn(200)) * sim.Microsecond)
+						}
+					}
+				})
+			}
+			runFor(t, s, 2*sim.Second)
+			if len(mu) != clients*perClient {
+				t.Fatalf("completed %d of %d operations", len(mu), clients*perClient)
+			}
+			ok, err := lincheck.Check(kvModel(), mu)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("history of %d operations is NOT linearizable", len(mu))
+			}
+		})
+	}
+}
+
+// int64ToPart picks a partition from a seed.
+func int64ToPart(seed int64) PartitionID { return PartitionID(seed % 2) }

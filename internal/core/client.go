@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+
+	"heron/internal/multicast"
+	"heron/internal/rdma"
+	"heron/internal/sim"
+)
+
+// Client submits requests to a Heron deployment in a closed loop:
+// Submit atomically multicasts the request to the involved partitions and
+// blocks until one response from each involved partition has arrived
+// (the paper's latency definition in Section V-B).
+type Client struct {
+	cfg    *Config
+	mc     *multicast.Client
+	tr     *rdma.Transport
+	node   *rdma.Node
+	ep     *rdma.Endpoint
+	lastID multicast.MsgID
+}
+
+// LastMsgID returns the multicast id of the most recent Submit, letting
+// harnesses correlate client-side latencies with replica-side traces.
+func (c *Client) LastMsgID() multicast.MsgID { return c.lastID }
+
+// NodeID returns the client's fabric node.
+func (c *Client) NodeID() rdma.NodeID { return c.node.ID() }
+
+// Submit sends one request and waits for the first response from every
+// destination partition. It returns the responses keyed by partition.
+func (c *Client) Submit(p *sim.Proc, dst []PartitionID, payload []byte) (map[PartitionID][]byte, error) {
+	id := c.mc.Multicast(p, dst, payload)
+	c.lastID = id
+	want := make(map[PartitionID]bool, len(dst))
+	for _, h := range dst {
+		want[h] = true
+	}
+	got := make(map[PartitionID][]byte, len(dst))
+	for len(got) < len(want) {
+		datagram, _, err := c.ep.Recv(p)
+		if err != nil {
+			return nil, fmt.Errorf("heron client: %w", err)
+		}
+		kind, r, kerr := ctlKind(datagram)
+		if kerr != nil || kind != ctlResponse {
+			continue
+		}
+		m := decodeResponse(r)
+		if r.Err() != nil || m.id != id {
+			continue // stale response from an earlier request
+		}
+		if want[m.part] {
+			if _, dup := got[m.part]; !dup {
+				got[m.part] = m.payload
+			}
+		}
+	}
+	return got, nil
+}
+
+// SubmitTimeout is Submit with a deadline; ok=false means the responses
+// did not all arrive in time (e.g. too many replica failures).
+func (c *Client) SubmitTimeout(p *sim.Proc, dst []PartitionID, payload []byte, d sim.Duration) (map[PartitionID][]byte, bool) {
+	id := c.mc.Multicast(p, dst, payload)
+	c.lastID = id
+	deadline := p.Now() + sim.Time(d)
+	want := make(map[PartitionID]bool, len(dst))
+	for _, h := range dst {
+		want[h] = true
+	}
+	got := make(map[PartitionID][]byte, len(dst))
+	for len(got) < len(want) {
+		remaining := sim.Duration(deadline - p.Now())
+		if remaining <= 0 {
+			return got, false
+		}
+		datagram, _, ok := c.ep.RecvTimeout(p, remaining)
+		if !ok {
+			return got, false
+		}
+		kind, r, kerr := ctlKind(datagram)
+		if kerr != nil || kind != ctlResponse {
+			continue
+		}
+		m := decodeResponse(r)
+		if r.Err() != nil || m.id != id {
+			continue
+		}
+		if want[m.part] {
+			if _, dup := got[m.part]; !dup {
+				got[m.part] = m.payload
+			}
+		}
+	}
+	return got, true
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"encoding/binary"
+
+	"heron/internal/rdma"
+	"heron/internal/sim"
+)
+
+// ctlHandlerCPU is the CPU charged per control message (address query
+// service, reply bookkeeping).
+const ctlHandlerCPU = 200 * sim.Nanosecond
+
+// stEntry is a decoded state-transfer memory entry.
+type stEntry struct {
+	reqTmp uint64
+	status uint64
+	rid    uint64
+	auxLen uint64
+}
+
+// readStEntry decodes the entry for rank q from local memory.
+func (r *Replica) readStEntry(q int) stEntry {
+	buf := r.stMem.Bytes()[q*stEntrySize : (q+1)*stEntrySize]
+	return stEntry{
+		reqTmp: binary.LittleEndian.Uint64(buf[0:8]),
+		status: binary.LittleEndian.Uint64(buf[8:16]),
+		rid:    binary.LittleEndian.Uint64(buf[16:24]),
+		auxLen: binary.LittleEndian.Uint64(buf[24:32]),
+	}
+}
+
+// encodeStEntry serializes a state-transfer memory entry.
+func encodeStEntry(e stEntry) []byte {
+	buf := make([]byte, stEntrySize)
+	binary.LittleEndian.PutUint64(buf[0:8], e.reqTmp)
+	binary.LittleEndian.PutUint64(buf[8:16], e.status)
+	binary.LittleEndian.PutUint64(buf[16:24], e.rid)
+	binary.LittleEndian.PutUint64(buf[24:32], e.auxLen)
+	return buf
+}
+
+// stWatch tracks an observed state-transfer request from a peer.
+type stWatch struct {
+	reqTmp    uint64
+	firstSeen sim.Time
+	claimSeen sim.Time
+	done      bool
+}
+
+// runControl is the replica's control process. It serves object-address
+// queries (the executor can be blocked in coordination, so a dedicated
+// process answers, as the prototype's messaging thread does), records
+// address replies for the local executor, and watches the state-transfer
+// memory to play the responder role of Algorithm 3.
+func (r *Replica) runControl(p *sim.Proc) {
+	ep := r.tr.Endpoint(r.node.ID())
+	watches := make(map[int]*stWatch)
+	for !r.node.Crashed() {
+		for {
+			msg, from, ok := ep.TryRecv(p)
+			if !ok {
+				break
+			}
+			p.Sleep(ctlHandlerCPU)
+			r.handleControl(p, msg, from)
+		}
+		next := r.checkStateTransfers(p, watches)
+		wait := sim.Duration(next - p.Now())
+		if wait <= 0 || wait > 200*sim.Microsecond {
+			wait = 200 * sim.Microsecond
+		}
+		if ep.Pending() {
+			continue
+		}
+		r.node.WriteNotify().WaitTimeout(p, wait)
+	}
+}
+
+// handleControl dispatches one control datagram.
+func (r *Replica) handleControl(p *sim.Proc, datagram []byte, from rdma.NodeID) {
+	kind, rd, err := ctlKind(datagram)
+	if err != nil {
+		return
+	}
+	switch kind {
+	case ctlAddrQuery:
+		q := decodeAddrQuery(rd)
+		if rd.Err() != nil {
+			return
+		}
+		reply := &addrReply{oid: q.oid}
+		if addr, slotLen, ok := r.st.Addr(storeOID(q.oid)); ok {
+			reply.found = true
+			reply.key = uint32(addr.Key)
+			reply.off = uint64(addr.Off)
+			reply.slotLen = uint32(slotLen)
+		}
+		_ = r.tr.Send(p, r.node.ID(), from, encodeAddrReply(reply))
+	case ctlAddrReply:
+		m := decodeAddrReply(rd)
+		if rd.Err() != nil {
+			return
+		}
+		key := objMapKey{oid: storeOID(m.oid), node: from}
+		if m.found {
+			r.objMap[key] = objMapEntry{
+				addr:    rdma.Addr{Node: from, Key: rdma.RKey(m.key), Off: int(m.off)},
+				slotLen: int(m.slotLen),
+			}
+		} else {
+			r.objMap[key] = objMapEntry{missing: true}
+		}
+		r.queryCond.Broadcast()
+	}
+}
+
+// checkStateTransfers scans the state-transfer memory for active requests
+// and performs the responder role when it is this replica's turn. It
+// returns the earliest future deadline the control loop must wake for.
+func (r *Replica) checkStateTransfers(p *sim.Proc, watches map[int]*stWatch) sim.Time {
+	now := p.Now()
+	next := now + sim.Time(200*sim.Microsecond)
+	n := len(r.peers[r.part])
+	for q := 0; q < n; q++ {
+		if q == r.rank {
+			continue
+		}
+		ent := r.readStEntry(q)
+		if ent.status == stIdle {
+			delete(watches, q)
+			continue
+		}
+		w := watches[q]
+		if w == nil || w.reqTmp != ent.reqTmp {
+			w = &stWatch{reqTmp: ent.reqTmp, firstSeen: now}
+			watches[q] = w
+		}
+		if w.done {
+			continue
+		}
+		if ent.status == stClaimed {
+			// Another responder claimed the request. Take over only if
+			// the claim goes stale (the claimer likely failed).
+			if w.claimSeen == 0 {
+				w.claimSeen = now
+			}
+			idx := ((r.rank - q - 1) + n) % n
+			staleAt := w.claimSeen + sim.Time(idx+1)*2*sim.Time(r.cfg.StateTransferTimeout)
+			if now < staleAt {
+				if staleAt < next {
+					next = staleAt
+				}
+				continue
+			}
+			// Claim is stale: fall through and respond ourselves.
+		}
+		// A responder can only cover the lagger once its own execution has
+		// passed the failed request; until then, defer (another replica
+		// takes over after the timeout if we stay behind).
+		if ent.reqTmp != 0 && uint64(r.lastExec) < ent.reqTmp {
+			if now+sim.Time(50*sim.Microsecond) < next {
+				next = now + sim.Time(50*sim.Microsecond)
+			}
+			continue
+		}
+		// Deterministic responder order: ranks q+1, q+2, ... (mod n).
+		idx := ((r.rank - q - 1) + n) % n
+		deadline := w.firstSeen + sim.Time(idx)*sim.Time(r.cfg.StateTransferTimeout)
+		if now >= deadline {
+			w.done = true
+			r.performStateTransfer(p, q, ent.reqTmp)
+		} else if deadline < next {
+			next = deadline
+		}
+	}
+	return next
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"heron/internal/rdma"
+	"heron/internal/sim"
+	"heron/internal/store"
+)
+
+// execute is Algorithm 2: resolve the read set (local gets plus one-sided
+// remote reads with dual-version selection), run the application, apply
+// local writes. It returns ok=false when the replica found itself lagging
+// and ran state transfer instead of completing the request.
+func (r *Replica) execute(p *sim.Proc, req *Request) ([]byte, bool) {
+	readSet := r.app.ReadSet(req)
+	values := make(map[store.OID][]byte, len(readSet))
+	for _, oid := range readSet {
+		h := r.parter.PartitionOf(oid)
+		if h == r.part {
+			// Local read: the newest version reflects exactly the
+			// requests executed before req, because execution is in
+			// delivery order.
+			p.Sleep(r.cfg.LocalReadCPU)
+			val, _, ok := r.st.GetAt(oid, uint64(req.Ts))
+			if !ok {
+				// Either the object was never initialized (treat as
+				// absent) or local state overtook this request — which
+				// cannot happen on the executor's own store.
+				if r.st.Registered(oid) {
+					panic(fmt.Sprintf("heron: replica p%d/r%d: local object %d newer than executing request %v",
+						r.part, r.rank, oid, req.Ts))
+				}
+				values[oid] = nil
+				continue
+			}
+			values[oid] = val
+			continue
+		}
+		val, ok := r.readRemote(p, req, oid, h)
+		if !ok {
+			// Lagger: state transfer already ran inside readRemote.
+			return nil, false
+		}
+		values[oid] = val
+	}
+
+	ctx := &ExecContext{
+		Req:       req,
+		Partition: r.part,
+		Values:    values,
+		localGet: func(oid store.OID) ([]byte, bool) {
+			if r.parter.PartitionOf(oid) != r.part {
+				panic(fmt.Sprintf("heron: replica p%d/r%d: LocalGet of remote object %d — remote reads must be in the read set",
+					r.part, r.rank, oid))
+			}
+			val, _, ok := r.st.GetAt(oid, uint64(req.Ts))
+			return val, ok
+		},
+	}
+	out := r.app.Execute(ctx)
+	if ctx.localGets > 0 {
+		p.Sleep(sim.Duration(ctx.localGets) * r.cfg.LocalReadCPU)
+	}
+	if out.CPU > 0 {
+		p.Sleep(out.CPU)
+	}
+	for _, w := range out.Writes {
+		if r.parter.PartitionOf(w.OID) != r.part {
+			continue // replicas update local objects only (Section III-A)
+		}
+		p.Sleep(r.cfg.LocalWriteCPU)
+		if err := r.st.Set(w.OID, w.Val, uint64(req.Ts)); err != nil {
+			panic(fmt.Sprintf("heron: replica p%d/r%d: write %d: %v", r.part, r.rank, w.OID, err))
+		}
+	}
+	return out.Response, true
+}
+
+// readRemote reads an object hosted by partition h over one-sided RDMA
+// (Algorithm 2, lines 8-27): resolve the object's address from a majority
+// of h if unknown, read the dual-version slot from a replica that
+// coordinated in phase 2, select the version for req.Ts, and fall into
+// state transfer when no version is old enough (we are the lagger).
+func (r *Replica) readRemote(p *sim.Proc, req *Request, oid store.OID, h PartitionID) ([]byte, bool) {
+	if !r.hasAddrQuorum(oid, h) {
+		r.queryAddrs(p, oid, h)
+	}
+
+	excluded := make(map[rdma.NodeID]bool)
+	for attempt := 0; attempt < 64; attempt++ {
+		q, info, ok := r.selectProc(h, req, oid, excluded)
+		if !ok {
+			// No coordinated replica with a known address yet; widen the
+			// address map and retry.
+			r.queryAddrs(p, oid, h)
+			excluded = make(map[rdma.NodeID]bool)
+			continue
+		}
+		ent := r.objMap[objMapKey{oid: oid, node: info.node}]
+		if ent.missing {
+			// The remote majority does not host this object at all.
+			return nil, r.missingObject(oid, h)
+		}
+		raw, err := r.qp(info.node).Read(p, ent.addr, ent.slotLen)
+		if err != nil {
+			// RDMA exception: remote failure — choose another process
+			// (lines 20-21).
+			excluded[info.node] = true
+			continue
+		}
+		maxSize := (ent.slotLen)/2 - 16
+		a, b, derr := store.DecodeSlot(raw, maxSize)
+		if derr != nil {
+			excluded[info.node] = true
+			continue
+		}
+		v, chosen := store.ChooseVersion(a, b, uint64(req.Ts))
+		if !chosen {
+			// Both versions are newer than our request: the partition has
+			// moved on without us. We are a lagger (lines 23-25).
+			r.invokeStateTransfer(p, req)
+			return nil, false
+		}
+		_ = q
+		return v.Val, true
+	}
+	panic(fmt.Sprintf("heron: replica p%d/r%d: cannot read object %d from partition %d (majority unreachable?)",
+		r.part, r.rank, oid, h))
+}
+
+// missingObject handles a read of an object the remote partition does not
+// host — an application partitioning bug surfaced loudly.
+func (r *Replica) missingObject(oid store.OID, h PartitionID) bool {
+	panic(fmt.Sprintf("heron: replica p%d/r%d: object %d not registered in partition %d (partitioner/application mismatch)",
+		r.part, r.rank, oid, h))
+}
+
+// selectProc picks a replica of h to read from (Algorithm 2's
+// select_proc): uniformly among replicas that coordinated in phase 2 for
+// req, have a known object address, and are not excluded.
+func (r *Replica) selectProc(h PartitionID, req *Request, oid store.OID, excluded map[rdma.NodeID]bool) (int, peerInfo, bool) {
+	type cand struct {
+		rank int
+		info peerInfo
+	}
+	var cands []cand
+	for qr, info := range r.peers[h] {
+		if info.node == r.node.ID() || excluded[info.node] {
+			continue
+		}
+		if !r.coordSatisfied(h, qr, req.Ts, phaseBefore) {
+			continue
+		}
+		ent, ok := r.objMap[objMapKey{oid: oid, node: info.node}]
+		if !ok {
+			continue
+		}
+		if ent.missing {
+			// A majority answered; if this one lacks the object the
+			// others will too (stores are symmetric within a partition).
+			return qr, info, true
+		}
+		cands = append(cands, cand{rank: qr, info: info})
+	}
+	if len(cands) == 0 {
+		return 0, peerInfo{}, false
+	}
+	c := cands[r.rng.Intn(len(cands))]
+	return c.rank, c.info, true
+}
+
+// hasAddrQuorum reports whether addresses for oid are known from a
+// majority of partition h (Algorithm 2, line 8's object_map check plus
+// the line 11 majority requirement).
+func (r *Replica) hasAddrQuorum(oid store.OID, h PartitionID) bool {
+	need := len(r.peers[h])/2 + 1
+	got := 0
+	for _, info := range r.peers[h] {
+		if _, ok := r.objMap[objMapKey{oid: oid, node: info.node}]; ok {
+			got++
+		}
+	}
+	return got >= need
+}
+
+// queryAddrs broadcasts query_obj_addr to partition h and waits for a
+// majority of replies (Algorithm 2, lines 8-13). Replies are recorded by
+// the control process into objMap; queryCond is broadcast on every
+// recorded reply.
+func (r *Replica) queryAddrs(p *sim.Proc, oid store.OID, h PartitionID) {
+	msg := encodeAddrQuery(&addrQuery{oid: uint64(oid)})
+	for attempt := 0; ; attempt++ {
+		if attempt >= 10 {
+			panic(fmt.Sprintf("heron: replica p%d/r%d: no address quorum for object %d from partition %d",
+				r.part, r.rank, oid, h))
+		}
+		for _, info := range r.peers[h] {
+			if info.node == r.node.ID() {
+				continue
+			}
+			if err := r.tr.Send(p, r.node.ID(), info.node, msg); err != nil && !errors.Is(err, rdma.ErrMailboxFull) {
+				continue
+			}
+		}
+		ok := r.queryCond.WaitUntilTimeout(p, r.cfg.QueryTimeout, func() bool {
+			return r.hasAddrQuorum(oid, h)
+		})
+		if ok {
+			return
+		}
+	}
+}

@@ -1,0 +1,251 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"heron/internal/sim"
+	"heron/internal/store"
+)
+
+// TestCrashDuringMultiPartitionStream kills one replica per partition in
+// the middle of a multi-partition workload; clients must keep completing
+// (f=1) and the survivors must converge.
+func TestCrashDuringMultiPartitionStream(t *testing.T) {
+	s, d := testDeployment(t, 2, 3, 4)
+	cl := d.NewClient()
+	done := 0
+	s.After(2*sim.Millisecond, func() {
+		d.Replica(0, 1).Crash()
+		d.Replica(1, 2).Crash()
+	})
+	s.Spawn("client", func(p *sim.Proc) {
+		for i := 0; i < 30; i++ {
+			req := &kvReq{
+				reads:  []store.OID{kvOID(0, 0), kvOID(1, 0)},
+				writes: []store.OID{kvOID(0, 0), kvOID(1, 0)},
+				add:    uint64(i + 1),
+			}
+			if _, err := cl.Submit(p, []PartitionID{0, 1}, encodeKVReq(req)); err != nil {
+				t.Error(err)
+				return
+			}
+			done++
+		}
+	})
+	runFor(t, s, 400*sim.Millisecond)
+	if done != 30 {
+		t.Fatalf("completed %d of 30 with one crash per partition", done)
+	}
+	// Survivors of partition 0 agree.
+	v0, t0, _ := d.Replica(0, 0).Store().Get(kvOID(0, 0))
+	v2, t2, _ := d.Replica(0, 2).Store().Get(kvOID(0, 0))
+	if !bytes.Equal(v0, v2) || t0 != t2 {
+		t.Fatal("survivors of partition 0 diverged")
+	}
+}
+
+// TestMulticastLeaderCrashUnderHeron kills the multicast leader node of a
+// partition (which is also a Heron replica) mid-stream: ordering must
+// fail over and Heron must keep executing on the survivors.
+func TestMulticastLeaderCrashUnderHeron(t *testing.T) {
+	s, d := testDeployment(t, 2, 3, 4)
+	cl := d.NewClient()
+	done := 0
+	// Rank 0 hosts the initial multicast leader for its group.
+	s.After(3*sim.Millisecond, func() { d.Replica(0, 0).Crash() })
+	s.Spawn("client", func(p *sim.Proc) {
+		for i := 0; i < 25; i++ {
+			req := &kvReq{
+				reads:  []store.OID{kvOID(1, 0)},
+				writes: []store.OID{kvOID(0, 1), kvOID(1, 0)},
+				add:    uint64(i + 1),
+			}
+			if _, err := cl.Submit(p, []PartitionID{0, 1}, encodeKVReq(req)); err != nil {
+				t.Error(err)
+				return
+			}
+			done++
+		}
+	})
+	runFor(t, s, 500*sim.Millisecond)
+	if done != 25 {
+		t.Fatalf("completed %d of 25 across a multicast leader crash", done)
+	}
+	// The surviving replicas of partition 0 converged.
+	v1, ts1, _ := d.Replica(0, 1).Store().Get(kvOID(0, 1))
+	v2, ts2, _ := d.Replica(0, 2).Store().Get(kvOID(0, 1))
+	if !bytes.Equal(v1, v2) || ts1 != ts2 {
+		t.Fatal("partition 0 survivors diverged after leader crash")
+	}
+}
+
+// TestTwoLaggersSamePartition slows two replicas (leaving exactly the
+// majority fast): both must recover via state transfer and converge.
+// With n=5 and f=2, two laggers are tolerable.
+func TestTwoLaggersSamePartition(t *testing.T) {
+	s, d := testDeployment(t, 2, 5, 4)
+	d.Replica(0, 3).SetSlow(250 * sim.Microsecond)
+	d.Replica(0, 4).SetSlow(400 * sim.Microsecond)
+
+	cl := d.NewClient()
+	s.Spawn("client", func(p *sim.Proc) {
+		for i := 0; i < 40; i++ {
+			req := &kvReq{
+				reads:  []store.OID{kvOID(1, 0)},
+				writes: []store.OID{kvOID(1, 0), kvOID(0, 0)},
+				add:    uint64(i + 1),
+			}
+			if _, err := cl.Submit(p, []PartitionID{0, 1}, encodeKVReq(req)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	})
+	runFor(t, s, 800*sim.Millisecond)
+
+	transfers := d.Replica(0, 3).StateTransfers() + d.Replica(0, 4).StateTransfers()
+	if transfers == 0 {
+		t.Fatal("slow replicas never needed state transfer")
+	}
+	runFor(t, s, 100*sim.Millisecond)
+	ref, reft, _ := d.Replica(0, 0).Store().Get(kvOID(0, 0))
+	for _, rank := range []int{3, 4} {
+		v, ts, _ := d.Replica(0, rank).Store().Get(kvOID(0, 0))
+		if !bytes.Equal(ref, v) || reft != ts {
+			t.Fatalf("lagger rank %d diverged: %v@%d vs %v@%d", rank, v, ts, ref, reft)
+		}
+	}
+}
+
+// TestStateTransferResponderFailover: the deterministic first responder
+// is crashed, so the next replica in the ring must serve the transfer
+// after the timeout.
+func TestStateTransferResponderFailover(t *testing.T) {
+	s, d := testDeployment(t, 1, 5, 4)
+	cl := d.NewClient()
+	s.Spawn("load", func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			req := &kvReq{writes: []store.OID{kvOID(0, 0)}, add: uint64(i + 1)}
+			if _, err := cl.Submit(p, []PartitionID{0}, encodeKVReq(req)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		// Lagger is rank 4; its first responder in ring order is rank 0.
+		// Crash rank 0 so rank 1 must take over after the timeout.
+		d.Replica(0, 0).Crash()
+		t0 := p.Now()
+		d.Replica(0, 4).RequestFullStateTransfer(p)
+		if took := sim.Duration(p.Now() - t0); took < d.Cfg.StateTransferTimeout {
+			t.Errorf("transfer completed in %v, before the failover timeout %v — wrong responder?",
+				took, d.Cfg.StateTransferTimeout)
+		}
+	})
+	runFor(t, s, 500*sim.Millisecond)
+	// Rank 4 matches rank 1 (a correct responder).
+	v1, ts1, _ := d.Replica(0, 1).Store().Get(kvOID(0, 0))
+	v4, ts4, _ := d.Replica(0, 4).Store().Get(kvOID(0, 0))
+	if !bytes.Equal(v1, v4) || ts1 != ts4 {
+		t.Fatal("failover transfer produced divergent state")
+	}
+}
+
+// TestFiveReplicaMajorities: phase coordination with n=5 must require 3
+// (not all) replicas — crash two followers and throughput must continue.
+func TestFiveReplicaMajorities(t *testing.T) {
+	s, d := testDeployment(t, 2, 5, 2)
+	s.After(sim.Millisecond, func() {
+		d.Replica(0, 3).Crash()
+		d.Replica(0, 4).Crash()
+	})
+	cl := d.NewClient()
+	done := 0
+	s.Spawn("client", func(p *sim.Proc) {
+		for i := 0; i < 20; i++ {
+			req := &kvReq{reads: []store.OID{kvOID(1, 0)}, writes: []store.OID{kvOID(0, 0)}, add: uint64(i)}
+			if _, err := cl.Submit(p, []PartitionID{0, 1}, encodeKVReq(req)); err != nil {
+				t.Error(err)
+				return
+			}
+			done++
+		}
+	})
+	runFor(t, s, 400*sim.Millisecond)
+	if done != 20 {
+		t.Fatalf("completed %d of 20 with f=2 crashes", done)
+	}
+}
+
+// TestManyPartitionsWideRequests drives requests spanning 5 partitions.
+func TestManyPartitionsWideRequests(t *testing.T) {
+	s, d := testDeployment(t, 5, 3, 2)
+	cl := d.NewClient()
+	dst := []PartitionID{0, 1, 2, 3, 4}
+	done := 0
+	s.Spawn("client", func(p *sim.Proc) {
+		for i := 0; i < 15; i++ {
+			req := &kvReq{
+				reads: []store.OID{kvOID(0, 0), kvOID(1, 0), kvOID(2, 0), kvOID(3, 0), kvOID(4, 0)},
+				writes: []store.OID{
+					kvOID(0, 1), kvOID(1, 1), kvOID(2, 1), kvOID(3, 1), kvOID(4, 1),
+				},
+				add: uint64(i + 1),
+			}
+			resp, err := cl.Submit(p, dst, encodeKVReq(req))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			// All five partitions computed the same sum.
+			first := decodeKVVal(resp[0])
+			for _, part := range dst[1:] {
+				if got := decodeKVVal(resp[part]); got != first {
+					t.Errorf("partition %d computed %d, partition 0 computed %d", part, got, first)
+				}
+			}
+			done++
+		}
+	})
+	runFor(t, s, 300*sim.Millisecond)
+	if done != 15 {
+		t.Fatalf("completed %d of 15 five-partition requests", done)
+	}
+}
+
+// TestSkipAfterTransferNoDoubleExecution verifies the last_req check: a
+// recovered lagger must not re-execute requests covered by the transfer
+// (observable through the deterministic add-chain: any double execution
+// would break the final value).
+func TestSkipAfterTransferNoDoubleExecution(t *testing.T) {
+	s, d := testDeployment(t, 2, 3, 2)
+	slow := d.Replica(0, 2)
+	slow.SetSlow(300 * sim.Microsecond)
+	cl := d.NewClient()
+	const n = 30
+	s.Spawn("client", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			req := &kvReq{
+				reads:  []store.OID{kvOID(1, 0)},
+				writes: []store.OID{kvOID(0, 0), kvOID(1, 0)},
+				add:    1, // v_i = v_{i-1} + 1: counts executions exactly
+			}
+			if _, err := cl.Submit(p, []PartitionID{0, 1}, encodeKVReq(req)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	})
+	runFor(t, s, 600*sim.Millisecond)
+	if slow.StateTransfers() == 0 {
+		t.Skip("no lagging induced in this configuration")
+	}
+	runFor(t, s, 100*sim.Millisecond)
+	// value = n iff each request executed exactly once in the chain.
+	v, _, _ := slow.Store().Get(kvOID(0, 0))
+	fmt.Println()
+	if got := decodeKVVal(v); got != n {
+		t.Fatalf("recovered replica value %d, want %d (double execution or lost update)", got, n)
+	}
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"heron/internal/sim"
+	"heron/internal/store"
+	"heron/internal/wire"
+)
+
+// kvApp is a deterministic key-value application used by the core tests:
+// a request reads a set of objects and writes a set of objects, where
+// each written value is the concatenation-sum of all read values plus a
+// request-supplied constant. OIDs encode the owning partition in the high
+// 32 bits.
+type kvApp struct {
+	part PartitionID
+	// aux mirrors applied writes outside the store, to exercise AuxSyncer.
+	aux map[store.OID]uint64
+}
+
+func newKVApp(part PartitionID, _ int) Application {
+	return &kvApp{part: part, aux: make(map[store.OID]uint64)}
+}
+
+// kvOID builds an OID owned by a partition.
+func kvOID(part PartitionID, key uint32) store.OID {
+	return store.OID(uint64(part)<<32 | uint64(key))
+}
+
+// kvPartitioner maps OIDs to their owning partition.
+var kvPartitioner = PartitionerFunc(func(oid store.OID) PartitionID {
+	return PartitionID(uint64(oid) >> 32)
+})
+
+// kvReq is the application request payload.
+type kvReq struct {
+	reads  []store.OID
+	writes []store.OID
+	add    uint64
+	cpu    sim.Duration
+}
+
+func encodeKVReq(r *kvReq) []byte {
+	w := wire.NewWriter(16 + 8*(len(r.reads)+len(r.writes)))
+	w.U32(uint32(len(r.reads)))
+	for _, oid := range r.reads {
+		w.U64(uint64(oid))
+	}
+	w.U32(uint32(len(r.writes)))
+	for _, oid := range r.writes {
+		w.U64(uint64(oid))
+	}
+	w.U64(r.add)
+	w.U64(uint64(r.cpu))
+	return w.Finish()
+}
+
+func decodeKVReq(b []byte) *kvReq {
+	r := wire.NewReader(b)
+	req := &kvReq{}
+	n := int(r.U32())
+	for i := 0; i < n; i++ {
+		req.reads = append(req.reads, store.OID(r.U64()))
+	}
+	n = int(r.U32())
+	for i := 0; i < n; i++ {
+		req.writes = append(req.writes, store.OID(r.U64()))
+	}
+	req.add = r.U64()
+	req.cpu = sim.Duration(r.U64())
+	return req
+}
+
+// ReadSet implements Application.
+func (a *kvApp) ReadSet(req *Request) []store.OID {
+	return decodeKVReq(req.Payload).reads
+}
+
+// ConflictSets implements ConflictEstimator: the payload carries exact
+// read and write sets.
+func (a *kvApp) ConflictSets(req *Request) (reads, writes []store.OID, ok bool) {
+	r := decodeKVReq(req.Payload)
+	return r.reads, r.writes, true
+}
+
+// Execute implements Application: new value = sum of reads + add; the
+// response is the written value followed by every read value.
+func (a *kvApp) Execute(ctx *ExecContext) Outcome {
+	req := decodeKVReq(ctx.Req.Payload)
+	sum := req.add
+	resp := wire.NewWriter(8 * (1 + len(req.reads)))
+	var readVals []uint64
+	for _, oid := range req.reads {
+		v := decodeKVVal(ctx.Values[oid])
+		readVals = append(readVals, v)
+		sum += v
+	}
+	resp.U64(sum)
+	for _, v := range readVals {
+		resp.U64(v)
+	}
+	out := Outcome{Response: resp.Finish(), CPU: req.cpu}
+	for _, oid := range req.writes {
+		out.Writes = append(out.Writes, Write{OID: oid, Val: encodeKVVal(sum)})
+		if kvPartitioner.PartitionOf(oid) == a.part {
+			a.aux[oid] = sum
+		}
+	}
+	return out
+}
+
+// SnapshotAux implements AuxSyncer: full dump of the mirror map.
+func (a *kvApp) SnapshotAux(fromTmp, toTmp uint64) []byte {
+	w := wire.NewWriter(16 * len(a.aux))
+	w.U32(uint32(len(a.aux)))
+	for oid, v := range a.aux {
+		w.U64(uint64(oid))
+		w.U64(v)
+	}
+	return w.Finish()
+}
+
+// ApplyAux implements AuxSyncer.
+func (a *kvApp) ApplyAux(data []byte) {
+	r := wire.NewReader(data)
+	n := int(r.U32())
+	m := make(map[store.OID]uint64, n)
+	for i := 0; i < n; i++ {
+		oid := store.OID(r.U64())
+		m[oid] = r.U64()
+	}
+	if r.Err() == nil {
+		a.aux = m
+	}
+}
+
+func encodeKVVal(v uint64) []byte {
+	w := wire.NewWriter(8)
+	w.U64(v)
+	return w.Finish()
+}
+
+func decodeKVVal(b []byte) uint64 {
+	if len(b) < 8 {
+		return 0
+	}
+	return wire.NewReader(b).U64()
+}

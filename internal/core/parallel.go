@@ -1,0 +1,232 @@
+package core
+
+import (
+	"fmt"
+
+	"heron/internal/multicast"
+	"heron/internal/sim"
+	"heron/internal/store"
+)
+
+// Multi-threaded execution of single-partition requests — the extension
+// sketched in Section III-D.1 of the paper: "identify requests that do
+// not contain conflicting operations ... and assign such requests to
+// different working threads within a replica. Since concurrent requests
+// are non-conflicting, there is no need to synchronize their execution."
+//
+// Enabled with Config.ExecWorkers > 1 for applications implementing
+// ConflictEstimator. The replica dispatches non-conflicting
+// single-partition requests to a pool of worker processes; requests whose
+// conflict sets cannot be estimated, and all multi-partition requests,
+// drain the pool and execute serially (a barrier), preserving the
+// sequential semantics. Correctness of concurrent readers against a
+// bounded number of in-flight writers is guaranteed by the dual-versioned
+// store (a reader at timestamp T still finds the pre-T version while one
+// newer version exists).
+
+// ConflictEstimator is an optional Application extension enabling
+// parallel execution: it estimates the object sets a request reads and
+// writes, for conflict scheduling. ok=false means the sets cannot be
+// estimated — the request then executes as a barrier. Applications may
+// include pseudo-OIDs (never registered in the store) to express
+// conflicts on auxiliary state, e.g. a TPCC district counter.
+type ConflictEstimator interface {
+	ConflictSets(req *Request) (reads, writes []store.OID, ok bool)
+}
+
+// execItem is one scheduled request.
+type execItem struct {
+	req    *Request
+	reads  []store.OID
+	writes []store.OID
+	rec    TraceRecord
+}
+
+// execPool schedules non-conflicting requests onto worker processes.
+type execPool struct {
+	r       *Replica
+	queue   *sim.Chan[*execItem]
+	readers map[store.OID]int
+	writers map[store.OID]int
+	// inflight counts dispatched-but-incomplete requests.
+	inflight     int
+	changed      *sim.Cond
+	lastSingleTs multicast.Timestamp
+}
+
+func newExecPool(r *Replica, s *sim.Scheduler) *execPool {
+	return &execPool{
+		r:       r,
+		queue:   sim.NewChan[*execItem](s),
+		readers: make(map[store.OID]int),
+		writers: make(map[store.OID]int),
+		changed: sim.NewCond(s),
+	}
+}
+
+// conflicts reports whether the item clashes with any in-flight request:
+// its reads against in-flight writes, its writes against in-flight reads
+// or writes.
+func (pl *execPool) conflicts(it *execItem) bool {
+	for _, oid := range it.reads {
+		if pl.writers[oid] > 0 {
+			return true
+		}
+	}
+	for _, oid := range it.writes {
+		if pl.writers[oid] > 0 || pl.readers[oid] > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// admit blocks until the item is conflict-free, then accounts it and
+// queues it for a worker.
+func (pl *execPool) admit(p *sim.Proc, it *execItem) {
+	pl.changed.WaitUntil(p, func() bool { return !pl.conflicts(it) })
+	for _, oid := range it.reads {
+		pl.readers[oid]++
+	}
+	for _, oid := range it.writes {
+		pl.writers[oid]++
+	}
+	pl.inflight++
+	pl.lastSingleTs = it.req.Ts
+	pl.queue.Send(it)
+}
+
+// complete releases the item's conflict accounting.
+func (pl *execPool) complete(it *execItem) {
+	for _, oid := range it.reads {
+		if pl.readers[oid]--; pl.readers[oid] == 0 {
+			delete(pl.readers, oid)
+		}
+	}
+	for _, oid := range it.writes {
+		if pl.writers[oid]--; pl.writers[oid] == 0 {
+			delete(pl.writers, oid)
+		}
+	}
+	pl.inflight--
+	if pl.inflight == 0 {
+		// All dispatched work retired: execution state now reflects every
+		// request up to the newest dispatched one (safe point for
+		// last_exec, used by state-transfer responders).
+		if pl.lastSingleTs > pl.r.lastExec {
+			pl.r.lastExec = pl.lastSingleTs
+		}
+	}
+	pl.changed.Broadcast()
+}
+
+// drain blocks until every in-flight request has retired.
+func (pl *execPool) drain(p *sim.Proc) {
+	pl.changed.WaitUntil(p, func() bool { return pl.inflight == 0 })
+}
+
+// runWorker is one execution worker process.
+func (r *Replica) runWorker(pl *execPool, idx int) func(p *sim.Proc) {
+	return func(p *sim.Proc) {
+		for !r.node.Crashed() {
+			it, ok := pl.queue.Recv(p)
+			if !ok {
+				return
+			}
+			t0 := p.Now()
+			resp, okExec := r.execute(p, it.req)
+			it.rec.Exec = sim.Duration(p.Now() - t0)
+			if okExec {
+				r.statExecuted++
+				it.rec.Done = p.Now()
+				r.reply(p, it.req, resp)
+				r.trace(it.req, it.rec)
+			}
+			pl.complete(it)
+		}
+	}
+}
+
+// runParallelExecutor is the Algorithm 1 loop with worker-pool dispatch
+// for single-partition requests.
+func (r *Replica) runParallelExecutor(p *sim.Proc) {
+	pool := newExecPool(r, p.Scheduler())
+	estimator, canEstimate := r.app.(ConflictEstimator)
+	for k := 0; k < r.cfg.ExecWorkers; k++ {
+		p.Scheduler().Spawn(fmt.Sprintf("heron-worker-p%d-r%d-%d", r.part, r.rank, k), r.runWorker(pool, k))
+	}
+	for !r.node.Crashed() {
+		d, ok := r.mc.Deliveries().Recv(p)
+		if !ok {
+			pool.queue.Close()
+			return
+		}
+		req := &Request{ID: d.ID, Ts: d.Ts, Dst: d.Dst, Payload: d.Payload}
+		p.Sleep(r.cfg.DispatchCPU)
+		if req.Ts <= r.lastReq {
+			r.statSkipped++
+			continue
+		}
+		r.lastReq = req.Ts
+		if r.slow > 0 {
+			p.Sleep(r.slow)
+		}
+		rec := TraceRecord{Delivered: p.Now(), MultiPartition: req.MultiPartition()}
+
+		if !req.MultiPartition() && canEstimate {
+			if reads, writes, okEst := estimator.ConflictSets(req); okEst {
+				pool.admit(p, &execItem{req: req, reads: reads, writes: writes, rec: rec})
+				continue
+			}
+		}
+
+		// Barrier: drain the pool, then run the request serially with the
+		// standard path (multi-partition coordination included).
+		pool.drain(p)
+		r.processSerial(p, req, rec)
+	}
+	pool.queue.Close()
+}
+
+// processSerial executes one request on the main executor path (shared
+// by the sequential executor and the parallel executor's barrier case).
+func (r *Replica) processSerial(p *sim.Proc, req *Request, rec TraceRecord) {
+	if !req.MultiPartition() {
+		t0 := p.Now()
+		resp, ok := r.execute(p, req)
+		rec.Exec = sim.Duration(p.Now() - t0)
+		if !ok {
+			return
+		}
+		r.lastExec = req.Ts
+		r.statExecuted++
+		rec.Done = p.Now()
+		r.reply(p, req, resp)
+		r.trace(req, rec)
+		return
+	}
+
+	r.statMulti++
+	t0 := p.Now()
+	r.writeCoordination(p, req, phaseBefore)
+	r.waitCoordination(p, req, phaseBefore, r.cfg.CutoffPhase2, nil)
+	rec.CoordPhase2 = sim.Duration(p.Now() - t0)
+
+	t0 = p.Now()
+	resp, ok := r.execute(p, req)
+	rec.Exec = sim.Duration(p.Now() - t0)
+	if !ok {
+		return
+	}
+	r.lastExec = req.Ts
+
+	t0 = p.Now()
+	r.writeCoordination(p, req, phaseAfter)
+	r.waitCoordination(p, req, phaseAfter, true, &rec)
+	rec.CoordPhase4 = sim.Duration(p.Now() - t0)
+
+	r.statExecuted++
+	rec.Done = p.Now()
+	r.reply(p, req, resp)
+	r.trace(req, rec)
+}

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"testing"
+
+	"heron/internal/multicast"
+	"heron/internal/rdma"
+	"heron/internal/sim"
+	"heron/internal/store"
+)
+
+// parallelDeployment builds a Heron system with the multi-threaded
+// execution extension enabled.
+func parallelDeployment(t *testing.T, parts, n, keys, workers int) (*sim.Scheduler, *Deployment) {
+	t.Helper()
+	s := sim.NewScheduler()
+	layout := make([][]rdma.NodeID, parts)
+	id := rdma.NodeID(1)
+	for g := range layout {
+		for r := 0; r < n; r++ {
+			layout[g] = append(layout[g], id)
+			id++
+		}
+	}
+	cfg := DefaultConfig(multicast.DefaultConfig(layout))
+	cfg.StoreCapacity = 1 << 20
+	cfg.ExecWorkers = workers
+	d, err := NewDeployment(s, cfg, newKVApp, kvPartitioner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = d.PopulateAll(func(part PartitionID, rank int, rep *Replica) error {
+		for k := 0; k < keys; k++ {
+			oid := kvOID(part, uint32(k))
+			if err := rep.Store().Register(oid, 8); err != nil {
+				return err
+			}
+			if err := rep.Store().Init(oid, encodeKVVal(0)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Start()
+	return s, d
+}
+
+func TestParallelExecutionCorrectness(t *testing.T) {
+	// Independent per-key chains driven by concurrent clients: each key's
+	// final value must equal its own chain length regardless of worker
+	// interleaving.
+	s, d := parallelDeployment(t, 1, 3, 8, 4)
+	const perKey = 12
+	for k := 0; k < 8; k++ {
+		k := k
+		cl := d.NewClient()
+		s.Spawn(fmt.Sprintf("client-key%d", k), func(p *sim.Proc) {
+			for i := 0; i < perKey; i++ {
+				req := &kvReq{
+					reads:  []store.OID{kvOID(0, uint32(k))},
+					writes: []store.OID{kvOID(0, uint32(k))},
+					add:    1,
+					cpu:    5 * sim.Microsecond,
+				}
+				if _, err := cl.Submit(p, []PartitionID{0}, encodeKVReq(req)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		})
+	}
+	runFor(t, s, 300*sim.Millisecond)
+	for k := 0; k < 8; k++ {
+		for r := 0; r < 3; r++ {
+			v, _, _ := d.Replica(0, r).Store().Get(kvOID(0, uint32(k)))
+			if got := decodeKVVal(v); got != perKey {
+				t.Fatalf("key %d replica %d = %d, want %d", k, r, got, perKey)
+			}
+		}
+	}
+}
+
+func TestParallelConflictingRequestsSerialize(t *testing.T) {
+	// All requests RMW the same key: the pool must serialize them and the
+	// responses must form the exact prefix-sum chain.
+	s, d := parallelDeployment(t, 1, 3, 2, 4)
+	adds := map[uint64]bool{}
+	var responses []uint64
+	for ci := 0; ci < 3; ci++ {
+		ci := ci
+		cl := d.NewClient()
+		s.Spawn(fmt.Sprintf("client%d", ci), func(p *sim.Proc) {
+			for i := 0; i < 10; i++ {
+				add := uint64(1 + ci*10 + i)
+				adds[add] = true
+				req := &kvReq{
+					reads:  []store.OID{kvOID(0, 0)},
+					writes: []store.OID{kvOID(0, 0)},
+					add:    add,
+				}
+				resp, err := cl.Submit(p, []PartitionID{0}, encodeKVReq(req))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				responses = append(responses, decodeKVVal(resp[0]))
+			}
+		})
+	}
+	runFor(t, s, 300*sim.Millisecond)
+	if len(responses) != 30 {
+		t.Fatalf("completed %d of 30", len(responses))
+	}
+	sort.Slice(responses, func(i, j int) bool { return responses[i] < responses[j] })
+	prev := uint64(0)
+	for _, r := range responses {
+		if !adds[r-prev] {
+			t.Fatalf("response %d implies unknown add %d — conflicting requests interleaved", r, r-prev)
+		}
+		delete(adds, r-prev)
+		prev = r
+	}
+}
+
+func TestParallelMultiPartitionBarrier(t *testing.T) {
+	// Interleave single-partition chains with multi-partition snapshots;
+	// the snapshot must observe consistent chain prefixes.
+	s, d := parallelDeployment(t, 2, 3, 4, 4)
+	cl := d.NewClient()
+	s.Spawn("client", func(p *sim.Proc) {
+		for i := 0; i < 20; i++ {
+			// Two independent single-partition increments...
+			for _, part := range []PartitionID{0, 1} {
+				req := &kvReq{
+					reads:  []store.OID{kvOID(part, 0)},
+					writes: []store.OID{kvOID(part, 0)},
+					add:    1,
+				}
+				if _, err := cl.Submit(p, []PartitionID{part}, encodeKVReq(req)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			// ...then a multi-partition read of both chains.
+			if i%5 == 4 {
+				req := &kvReq{reads: []store.OID{kvOID(0, 0), kvOID(1, 0)}}
+				resp, err := cl.Submit(p, []PartitionID{0, 1}, encodeKVReq(req))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				// Both chains have i+1 increments at this point; sum must
+				// be exactly 2(i+1) (client is closed-loop, so no other
+				// requests are in flight).
+				want := uint64(2 * (i + 1))
+				if got := decodeKVVal(resp[0]); got != want {
+					t.Errorf("snapshot sum = %d, want %d", got, want)
+				}
+			}
+		}
+	})
+	runFor(t, s, 300*sim.Millisecond)
+	// Replicas converged.
+	for _, part := range []PartitionID{0, 1} {
+		base, bt, _ := d.Replica(part, 0).Store().Get(kvOID(part, 0))
+		for r := 1; r < 3; r++ {
+			v, vt, _ := d.Replica(part, r).Store().Get(kvOID(part, 0))
+			if !bytes.Equal(base, v) || bt != vt {
+				t.Fatalf("partition %d diverged with workers", part)
+			}
+		}
+	}
+}
+
+func TestParallelSpeedup(t *testing.T) {
+	// Virtual-time speedup: N non-conflicting CPU-heavy requests finish
+	// sooner with 4 workers than with a sequential executor.
+	run := func(workers int) sim.Time {
+		s, d := parallelDeployment(t, 1, 3, 8, workers)
+		var doneAt sim.Time
+		finished := 0
+		for k := 0; k < 8; k++ {
+			k := k
+			cl := d.NewClient()
+			s.Spawn(fmt.Sprintf("c%d", k), func(p *sim.Proc) {
+				for i := 0; i < 10; i++ {
+					req := &kvReq{
+						reads:  []store.OID{kvOID(0, uint32(k))},
+						writes: []store.OID{kvOID(0, uint32(k))},
+						add:    1,
+						cpu:    20 * sim.Microsecond, // CPU-bound workload
+					}
+					if _, err := cl.Submit(p, []PartitionID{0}, encodeKVReq(req)); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				finished++
+				if finished == 8 {
+					doneAt = p.Now()
+				}
+			})
+		}
+		runFor(t, s, 300*sim.Millisecond)
+		if doneAt == 0 {
+			t.Fatal("workload did not finish")
+		}
+		return doneAt
+	}
+	seq := run(1)
+	par := run(4)
+	if float64(par) > 0.6*float64(seq) {
+		t.Fatalf("no speedup from workers: sequential %v, parallel %v", seq, par)
+	}
+}
+
+func TestParallelWithLaggerStateTransfer(t *testing.T) {
+	// The extension must compose with the lagger machinery: slow one
+	// replica under a mixed single/multi workload.
+	s, d := parallelDeployment(t, 2, 3, 4, 4)
+	slow := d.Replica(0, 2)
+	slow.SetSlow(300 * sim.Microsecond)
+	cl := d.NewClient()
+	s.Spawn("client", func(p *sim.Proc) {
+		for i := 0; i < 30; i++ {
+			req := &kvReq{
+				reads:  []store.OID{kvOID(1, 0)},
+				writes: []store.OID{kvOID(1, 0), kvOID(0, 0)},
+				add:    1,
+			}
+			if _, err := cl.Submit(p, []PartitionID{0, 1}, encodeKVReq(req)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	})
+	runFor(t, s, 600*sim.Millisecond)
+	if slow.StateTransfers() == 0 {
+		t.Skip("no lag induced")
+	}
+	runFor(t, s, 100*sim.Millisecond)
+	fv, ft, _ := d.Replica(0, 0).Store().Get(kvOID(0, 0))
+	sv, st, _ := slow.Store().Get(kvOID(0, 0))
+	if !bytes.Equal(fv, sv) || ft != st {
+		t.Fatal("lagger diverged under parallel execution")
+	}
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"heron/internal/multicast"
+	"heron/internal/sim"
+	"heron/internal/store"
+)
+
+// TestPropertyCoordinationEncoding: the coordination word packs
+// (timestamp, phase) into one atomic 8-byte value; the satisfied-check
+// must order exactly like the tuple (ts, phase).
+func TestPropertyCoordinationEncoding(t *testing.T) {
+	check := func(clockA, clockB uint32, gA, gB uint8, phA, phB bool) bool {
+		tsA := multicast.MakeTimestamp(uint64(clockA), multicast.GroupID(gA))
+		tsB := multicast.MakeTimestamp(uint64(clockB), multicast.GroupID(gB))
+		phaseA := uint64(phaseBefore)
+		if phA {
+			phaseA = phaseAfter
+		}
+		phaseB := uint64(phaseBefore)
+		if phB {
+			phaseB = phaseAfter
+		}
+		wordA := uint64(tsA)<<2 | phaseA
+
+		// Decoding round-trips.
+		decTs := multicast.Timestamp(wordA >> 2)
+		decPhase := wordA & 3
+		if decTs != tsA || decPhase != phaseA {
+			return false
+		}
+		// The "satisfied" relation: entry (tsA, phaseA) satisfies a wait
+		// for (tsB, phaseB) iff tsA > tsB, or tsA == tsB && phaseA >= phaseB.
+		satisfied := decTs > tsB || (decTs == tsB && decPhase >= phaseB)
+		wantSatisfied := tsA > tsB || (tsA == tsB && phaseA >= phaseB)
+		return satisfied == wantSatisfied
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyRandomWorkloadLinearizable runs the RMW-chain
+// linearizability check across random deployment shapes, client counts,
+// and interleavings: responses must always be the prefix sums of the
+// issued adds in one total order, on every replica.
+func TestPropertyRandomWorkloadLinearizable(t *testing.T) {
+	for _, seed := range []int64{3, 11, 29} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			parts := 2 + rng.Intn(2) // 2-3 partitions
+			perClient := 8 + rng.Intn(8)
+			clients := 2 + rng.Intn(2)
+
+			s, d := testDeployment(t, parts, 3, 4)
+			adds := make(map[uint64]bool)
+			var responses []uint64
+			nextAdd := uint64(1)
+			for ci := 0; ci < clients; ci++ {
+				ci := ci
+				cl := d.NewClient()
+				crng := rand.New(rand.NewSource(seed*100 + int64(ci)))
+				s.Spawn(fmt.Sprintf("pclient%d", ci), func(p *sim.Proc) {
+					for i := 0; i < perClient; i++ {
+						add := nextAdd
+						nextAdd++
+						adds[add] = true
+						// Chain through the shared counter at partition
+						// 0; write mirrors into a random subset of other
+						// partitions (varying the dst shape).
+						dst := []PartitionID{0}
+						writes := []store.OID{kvOID(0, 0)}
+						if crng.Intn(2) == 0 {
+							other := PartitionID(1 + crng.Intn(parts-1))
+							dst = append(dst, other)
+							writes = append(writes, kvOID(other, 0))
+						}
+						req := &kvReq{
+							reads:  []store.OID{kvOID(0, 0)},
+							writes: writes,
+							add:    add,
+						}
+						resp, err := cl.Submit(p, dst, encodeKVReq(req))
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						responses = append(responses, decodeKVVal(resp[0]))
+						if crng.Intn(3) == 0 {
+							p.Sleep(sim.Duration(crng.Intn(50)) * sim.Microsecond)
+						}
+					}
+				})
+			}
+			runFor(t, s, 400*sim.Millisecond)
+
+			want := clients * perClient
+			if len(responses) != want {
+				t.Fatalf("completed %d of %d", len(responses), want)
+			}
+			sorted := append([]uint64(nil), responses...)
+			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+			prev := uint64(0)
+			for _, r := range sorted {
+				if !adds[r-prev] {
+					t.Fatalf("response %d implies add %d, never issued — non-linearizable", r, r-prev)
+				}
+				delete(adds, r-prev)
+				prev = r
+			}
+			if len(adds) != 0 {
+				t.Fatalf("adds unobserved in the linearization: %v", adds)
+			}
+		})
+	}
+}
+
+// TestPropertyReadSetSubsetValuesResolved: whatever read set the
+// application declares for involved partitions, execution always receives
+// a value entry for every OID (nil for unregistered objects is surfaced
+// as a panic earlier; registered ones resolve).
+func TestPropertyReadSetResolution(t *testing.T) {
+	s, d := testDeployment(t, 2, 3, 8)
+	cl := d.NewClient()
+	rng := rand.New(rand.NewSource(5))
+	ok := true
+	s.Spawn("client", func(p *sim.Proc) {
+		for i := 0; i < 25; i++ {
+			nReads := 1 + rng.Intn(6)
+			req := &kvReq{add: uint64(i)}
+			dstSet := map[PartitionID]bool{0: true}
+			for j := 0; j < nReads; j++ {
+				part := PartitionID(rng.Intn(2))
+				dstSet[part] = true
+				req.reads = append(req.reads, kvOID(part, uint32(rng.Intn(8))))
+			}
+			req.writes = []store.OID{kvOID(0, uint32(rng.Intn(8)))}
+			var dst []PartitionID
+			for part := range dstSet {
+				dst = append(dst, part)
+			}
+			sort.Slice(dst, func(a, b int) bool { return dst[a] < dst[b] })
+			resp, err := cl.Submit(p, dst, encodeKVReq(req))
+			if err != nil || len(resp) != len(dst) {
+				ok = false
+				return
+			}
+		}
+	})
+	runFor(t, s, 200*sim.Millisecond)
+	if !ok {
+		t.Fatal("random read-set requests failed to resolve")
+	}
+}

@@ -1,0 +1,340 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"heron/internal/multicast"
+	"heron/internal/rdma"
+	"heron/internal/sim"
+	"heron/internal/store"
+)
+
+// Coordination phases written into coordination memory.
+const (
+	phaseBefore = 1 // phase 2: "I have reached request R"
+	phaseAfter  = 2 // phase 4: "I have executed request R"
+)
+
+// peerInfo is a remote replica's identity and RDMA-visible memory,
+// exchanged at deployment wiring time (as real systems exchange rkeys at
+// queue-pair setup).
+type peerInfo struct {
+	node      rdma.NodeID
+	coordAddr rdma.Addr // base of its coordination memory
+	stAddr    rdma.Addr // base of its state-transfer memory
+	stageAddr rdma.Addr // base of its aux staging region
+	storeAddr rdma.Addr // base of its object region (for state transfer)
+}
+
+// stEntrySize is one state-transfer memory entry: reqTmp, status, rid,
+// auxLen (Algorithm 3's req_tmp/status plus the completion record).
+const stEntrySize = 32
+
+// Replica is one Heron replica: a member of one partition, hosting the
+// partition's objects, executing every request addressed to it.
+type Replica struct {
+	cfg    *Config
+	part   PartitionID
+	rank   int
+	node   *rdma.Node
+	st     *store.Store
+	app    Application
+	parter Partitioner
+	mc     *multicast.Process
+	tr     *rdma.Transport
+	rng    *rand.Rand
+
+	// coordMem[h][q] holds the latest coordination value written by
+	// replica q of partition h: ts<<2 | phase, one atomic 8-byte word.
+	coordMem *rdma.Region
+	// stMem[q] is the state-transfer entry of replica q of this
+	// partition.
+	stMem *rdma.Region
+	// staging receives auxiliary state during transfer.
+	staging *rdma.Region
+
+	// peers[h][q] describes replica q of partition h (nil for self).
+	peers [][]peerInfo
+	// maxReplicas is the widest partition, fixing coordMem stride.
+	maxReplicas int
+
+	qps map[rdma.NodeID]*rdma.QP
+
+	// objMap caches remote object addresses: (oid, node) -> addr+len
+	// (Algorithm 2's object_map).
+	objMap    map[objMapKey]objMapEntry
+	queryCond *sim.Cond
+
+	lastReq  multicast.Timestamp // Algorithm 1's last_req
+	lastExec multicast.Timestamp // last fully executed request
+
+	tracer Tracer
+
+	execProc *sim.Proc
+	ctlProc  *sim.Proc
+
+	// Stats.
+	statExecuted      uint64
+	statMulti         uint64
+	statSkipped       uint64
+	statStateTransfer uint64
+
+	// slow injects an extra delay before each execution (failure
+	// injection: makes this replica a lagger candidate).
+	slow sim.Duration
+}
+
+type objMapKey struct {
+	oid  store.OID
+	node rdma.NodeID
+}
+
+type objMapEntry struct {
+	addr    rdma.Addr
+	slotLen int
+	missing bool // remote replied "not registered"
+}
+
+// newReplica wires one replica. Called by Deployment.
+func newReplica(cfg *Config, tr *rdma.Transport, mc *multicast.Process, part PartitionID, rank int,
+	app Application, parter Partitioner, seed int64) *Replica {
+	node := tr.Endpoint(cfg.Multicast.Groups[part][rank]).Node()
+	maxN := 0
+	for _, g := range cfg.Multicast.Groups {
+		if len(g) > maxN {
+			maxN = len(g)
+		}
+	}
+	r := &Replica{
+		cfg:         cfg,
+		part:        part,
+		rank:        rank,
+		node:        node,
+		st:          store.New(node, cfg.StoreCapacity),
+		app:         app,
+		parter:      parter,
+		mc:          mc,
+		tr:          tr,
+		rng:         rand.New(rand.NewSource(seed)),
+		maxReplicas: maxN,
+		qps:         make(map[rdma.NodeID]*rdma.QP),
+		objMap:      make(map[objMapKey]objMapEntry),
+		queryCond:   sim.NewCond(tr.Fabric().Scheduler()),
+	}
+	r.coordMem = node.RegisterRegion(len(cfg.Multicast.Groups) * maxN * 8)
+	r.stMem = node.RegisterRegion(len(cfg.Multicast.Groups[part]) * stEntrySize)
+	r.staging = node.RegisterRegion(cfg.AuxStagingCap)
+	return r
+}
+
+// Store returns the replica's object store, for population at startup.
+func (r *Replica) Store() *store.Store { return r.st }
+
+// Partition returns the replica's partition.
+func (r *Replica) Partition() PartitionID { return r.part }
+
+// Rank returns the replica's rank within its partition.
+func (r *Replica) Rank() int { return r.rank }
+
+// NodeID returns the hosting fabric node.
+func (r *Replica) NodeID() rdma.NodeID { return r.node.ID() }
+
+// App returns the replica's application instance.
+func (r *Replica) App() Application { return r.app }
+
+// SetTracer installs per-request instrumentation.
+func (r *Replica) SetTracer(t Tracer) { r.tracer = t }
+
+// SetSlow injects a delay before every execution, making the replica lag
+// its partition (failure injection for state-transfer experiments).
+func (r *Replica) SetSlow(d sim.Duration) { r.slow = d }
+
+// Executed returns the number of requests this replica executed.
+func (r *Replica) Executed() uint64 { return r.statExecuted }
+
+// Skipped returns the number of requests skipped after state transfer.
+func (r *Replica) Skipped() uint64 { return r.statSkipped }
+
+// StateTransfers returns how many state transfers this replica initiated.
+func (r *Replica) StateTransfers() uint64 { return r.statStateTransfer }
+
+// LastExecuted returns the timestamp of the last fully executed request.
+func (r *Replica) LastExecuted() multicast.Timestamp { return r.lastExec }
+
+// Crash fails the replica's node and kills its processes.
+func (r *Replica) Crash() {
+	r.node.Crash()
+	if r.execProc != nil {
+		r.execProc.Kill()
+	}
+	if r.ctlProc != nil {
+		r.ctlProc.Kill()
+	}
+	r.mc.Crash()
+}
+
+// qp returns (creating on first use) the queue pair to a peer node.
+func (r *Replica) qp(to rdma.NodeID) *rdma.QP {
+	if q, ok := r.qps[to]; ok {
+		return q
+	}
+	q := r.tr.Fabric().Connect(r.node.ID(), to)
+	r.qps[to] = q
+	return q
+}
+
+// coordOff returns the byte offset of (partition h, rank q)'s entry in
+// any replica's coordination memory.
+func (r *Replica) coordOff(h PartitionID, q int) int {
+	return (int(h)*r.maxReplicas + q) * 8
+}
+
+// coordValue reads the local coordination entry for (h, q).
+func (r *Replica) coordValue(h PartitionID, q int) uint64 {
+	off := r.coordOff(h, q)
+	return binary.LittleEndian.Uint64(r.coordMem.Bytes()[off : off+8])
+}
+
+// start spawns the replica's executor and control processes.
+func (r *Replica) start(s *sim.Scheduler) {
+	executor := r.runExecutor
+	if r.cfg.ExecWorkers > 1 {
+		executor = r.runParallelExecutor
+	}
+	r.execProc = s.Spawn(fmt.Sprintf("heron-exec-p%d-r%d", r.part, r.rank), executor)
+	r.ctlProc = s.Spawn(fmt.Sprintf("heron-ctl-p%d-r%d", r.part, r.rank), r.runControl)
+}
+
+// runExecutor is Algorithm 1: deliver, coordinate, execute, coordinate,
+// reply.
+func (r *Replica) runExecutor(p *sim.Proc) {
+	for !r.node.Crashed() {
+		d, ok := r.mc.Deliveries().Recv(p)
+		if !ok {
+			return
+		}
+		req := &Request{ID: d.ID, Ts: d.Ts, Dst: d.Dst, Payload: d.Payload}
+		p.Sleep(r.cfg.DispatchCPU)
+
+		// Lines 3-4: skip requests covered by a past state transfer.
+		if req.Ts <= r.lastReq {
+			r.statSkipped++
+			continue
+		}
+		r.lastReq = req.Ts
+
+		if r.slow > 0 {
+			p.Sleep(r.slow)
+		}
+
+		rec := TraceRecord{Delivered: p.Now(), MultiPartition: req.MultiPartition()}
+		// Lines 5-7 (single-partition fast path) and 8-17 (coordinated
+		// multi-partition execution).
+		r.processSerial(p, req, rec)
+	}
+}
+
+// trace emits instrumentation if a tracer is installed.
+func (r *Replica) trace(req *Request, rec TraceRecord) {
+	if r.tracer != nil {
+		r.tracer.RequestDone(r.part, r.rank, req.ID, rec)
+	}
+}
+
+// writeCoordination writes <ts, phase> into the coordination memory of
+// every replica of every involved partition (Algorithm 1, lines 8-9 and
+// 14-15). The value is a single atomic 8-byte word; writes to remote
+// replicas are unsignaled one-sided writes, the local entry is plain
+// memory.
+func (r *Replica) writeCoordination(p *sim.Proc, req *Request, phase uint64) {
+	val := uint64(req.Ts)<<2 | phase
+	off := r.coordOff(r.part, r.rank)
+	for _, h := range req.Dst {
+		for q, info := range r.peers[h] {
+			if info.node == r.node.ID() {
+				binary.LittleEndian.PutUint64(r.coordMem.Bytes()[off:off+8], val)
+				r.node.WriteNotify().Broadcast()
+				continue
+			}
+			addr := info.coordAddr
+			addr.Off += off
+			var buf [8]byte
+			binary.LittleEndian.PutUint64(buf[:], val)
+			_ = r.qp(info.node).PostWrite(p, addr, buf[:])
+			_ = q
+		}
+	}
+}
+
+// coordSatisfied reports whether replica q of partition h has coordinated
+// for (ts, phase): its entry matches the request at this phase or a later
+// request (line 10 and 16's wait condition).
+func (r *Replica) coordSatisfied(h PartitionID, q int, ts multicast.Timestamp, phase uint64) bool {
+	v := r.coordValue(h, q)
+	entTs := multicast.Timestamp(v >> 2)
+	entPhase := v & 3
+	if entTs > ts {
+		return true
+	}
+	return entTs == ts && entPhase >= phase
+}
+
+// waitCoordination blocks until a majority of every involved partition
+// has coordinated, then — when the cut-off heuristic applies — waits up
+// to CutoffDelay for the remaining replicas, recording Table I's delayed
+// fraction and delay into rec.
+func (r *Replica) waitCoordination(p *sim.Proc, req *Request, phase uint64, cutoff bool, rec *TraceRecord) {
+	majority := func() bool {
+		for _, h := range req.Dst {
+			n := len(r.peers[h])
+			need := n/2 + 1
+			got := 0
+			for q := 0; q < n; q++ {
+				if r.coordSatisfied(h, q, req.Ts, phase) {
+					got++
+				}
+			}
+			if got < need {
+				return false
+			}
+		}
+		return true
+	}
+	all := func() bool {
+		for _, h := range req.Dst {
+			for q := 0; q < len(r.peers[h]); q++ {
+				if !r.coordSatisfied(h, q, req.Ts, phase) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	r.node.WriteNotify().WaitUntil(p, majority)
+
+	if !cutoff || r.cfg.CutoffDelay <= 0 {
+		return
+	}
+	if all() {
+		return
+	}
+	// Majority reached but some replicas are behind: tentatively wait for
+	// them so they do not become laggers (Section V-E1).
+	t0 := p.Now()
+	r.node.WriteNotify().WaitUntilTimeout(p, r.cfg.CutoffDelay, all)
+	if rec != nil {
+		rec.Delayed = true
+		rec.DelayWait = sim.Duration(p.Now() - t0)
+	}
+}
+
+// reply sends the response to the submitting client. Every replica of
+// every involved partition responds; clients keep the first response per
+// partition.
+func (r *Replica) reply(p *sim.Proc, req *Request, resp []byte) {
+	msg := encodeResponse(&responseMsg{id: req.ID, part: r.part, payload: resp})
+	_ = r.tr.Send(p, r.node.ID(), req.ID.Node, msg)
+}

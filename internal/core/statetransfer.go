@@ -1,0 +1,206 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"heron/internal/multicast"
+	"heron/internal/sim"
+	"heron/internal/store"
+)
+
+// storeOID narrows a wire u64 to a store OID.
+func storeOID(v uint64) store.OID { return store.OID(v) }
+
+// invokeStateTransfer is the lagger side of Algorithm 3 (lines 1-6): the
+// replica writes a state-transfer request into the state-transfer memory
+// of every replica in its partition, waits for a responder to clear the
+// status, then fast-forwards last_req to the synchronized request id and
+// applies any auxiliary state left in its staging region.
+func (r *Replica) invokeStateTransfer(p *sim.Proc, req *Request) {
+	r.statStateTransfer++
+	rec := encodeStEntry(stEntry{reqTmp: uint64(req.Ts), status: stRequested})
+	off := r.rank * stEntrySize
+	r.writeStRecord(p, off, rec)
+
+	// Wait for the responder's completion record (line 5).
+	r.node.WriteNotify().WaitUntil(p, func() bool {
+		e := r.readStEntry(r.rank)
+		return e.status == 0 && e.rid >= uint64(req.Ts)
+	})
+	e := r.readStEntry(r.rank)
+	r.lastReq = multicast.Timestamp(e.rid)
+	r.lastExec = multicast.Timestamp(e.rid)
+
+	if e.auxLen > 0 {
+		if syncer, ok := r.app.(AuxSyncer); ok {
+			data := make([]byte, e.auxLen)
+			copy(data, r.staging.Bytes()[:e.auxLen])
+			if r.cfg.DeserializeBytesPerNS > 0 {
+				p.Sleep(sim.Duration(float64(len(data)) / r.cfg.DeserializeBytesPerNS))
+			}
+			syncer.ApplyAux(data)
+		}
+	}
+}
+
+// RequestFullStateTransfer synchronizes the replica's complete state from
+// a peer — the recovery path after a crash (Section V-E2's worst case:
+// a whole TPCC warehouse in about a tenth of a second). reqTmp 0 asks the
+// responder for every registered slot and a full auxiliary snapshot.
+func (r *Replica) RequestFullStateTransfer(p *sim.Proc) {
+	r.statStateTransfer++
+	rec := encodeStEntry(stEntry{reqTmp: 0, status: stRequested})
+	off := r.rank * stEntrySize
+	r.writeStRecord(p, off, rec)
+	// writeStRecord set our own entry's status to 1 synchronously, so
+	// status 0 here can only come from a responder's completion record.
+	r.node.WriteNotify().WaitUntil(p, func() bool {
+		return r.readStEntry(r.rank).status == 0
+	})
+	e := r.readStEntry(r.rank)
+	r.lastReq = multicast.Timestamp(e.rid)
+	r.lastExec = multicast.Timestamp(e.rid)
+	if e.auxLen > 0 {
+		if syncer, ok := r.app.(AuxSyncer); ok {
+			data := make([]byte, e.auxLen)
+			copy(data, r.staging.Bytes()[:e.auxLen])
+			if r.cfg.DeserializeBytesPerNS > 0 {
+				p.Sleep(sim.Duration(float64(len(data)) / r.cfg.DeserializeBytesPerNS))
+			}
+			syncer.ApplyAux(data)
+		}
+	}
+}
+
+// writeStRecord writes a state-transfer memory record at the given offset
+// on every replica of the partition (own memory directly, peers with
+// unsignaled one-sided writes).
+func (r *Replica) writeStRecord(p *sim.Proc, off int, rec []byte) {
+	for _, info := range r.peers[r.part] {
+		if info.node == r.node.ID() {
+			copy(r.stMem.Bytes()[off:off+len(rec)], rec)
+			r.node.WriteNotify().Broadcast()
+			continue
+		}
+		addr := info.stAddr
+		addr.Off += off
+		_ = r.qp(info.node).PostWrite(p, addr, rec)
+	}
+}
+
+// stStatus values: 0 = idle/complete, 1 = requested, 2 = claimed by a
+// responder (backup responders take over only if the claim goes stale).
+const (
+	stIdle      = 0
+	stRequested = 1
+	stClaimed   = 2
+)
+
+// performStateTransfer is the responder side of Algorithm 3 (lines 7-22):
+// claim the request, synchronize the lagger's slots for every object
+// updated in [reqTmp, rid] (all slots when reqTmp is 0), ship auxiliary
+// state, and clear the request in everyone's state-transfer memory. The
+// claim narrows the window in which a timed-out backup responder could
+// overlap with a live one and land stale data after the first completion.
+func (r *Replica) performStateTransfer(p *sim.Proc, laggerRank int, reqTmp uint64) {
+	lagger := r.peers[r.part][laggerRank]
+
+	// Claim the request on every replica (including the watchers).
+	claim := encodeStEntry(stEntry{reqTmp: reqTmp, status: stClaimed})
+	r.writeStRecord(p, laggerRank*stEntrySize, claim)
+
+	// rid and the aux snapshot are captured in the same virtual instant,
+	// so the auxiliary state reflects exactly the requests up to rid.
+	// Slot bytes may leak slightly newer versions while chunks stream
+	// out; that is harmless because the lagger deterministically
+	// re-executes requests after rid, overwriting them idempotently.
+	rid := uint64(r.lastExec)
+	var aux []byte
+	if syncer, ok := r.app.(AuxSyncer); ok {
+		aux = syncer.SnapshotAux(reqTmp, rid)
+	}
+
+	var oids []store.OID
+	if reqTmp == 0 {
+		oids = r.st.Objects()
+	} else {
+		oids = r.st.Log().ObjectsBetween(reqTmp, rid)
+	}
+
+	// Coalesce slot byte ranges and stream them in chunks directly into
+	// the lagger's symmetric object region.
+	ranges := r.slotRanges(oids)
+	qp := r.qp(lagger.node)
+	chunk := r.cfg.StateTransferChunk
+	src := r.st.Region().Bytes()
+	for _, rg := range ranges {
+		for off := rg[0]; off < rg[1]; off += chunk {
+			end := off + chunk
+			if end > rg[1] {
+				end = rg[1]
+			}
+			addr := lagger.storeAddr
+			addr.Off += off
+			_ = qp.PostWrite(p, addr, src[off:end])
+		}
+	}
+
+	// Ship the auxiliary snapshot into the lagger's staging region,
+	// charging the modeled serialization cost.
+	if len(aux) > 0 {
+		if len(aux) > r.cfg.AuxStagingCap {
+			panic(fmt.Sprintf("heron: aux snapshot of %d bytes exceeds staging capacity %d", len(aux), r.cfg.AuxStagingCap))
+		}
+		if r.cfg.SerializeBytesPerNS > 0 {
+			p.Sleep(sim.Duration(float64(len(aux)) / r.cfg.SerializeBytesPerNS))
+		}
+		for off := 0; off < len(aux); off += chunk {
+			end := off + chunk
+			if end > len(aux) {
+				end = len(aux)
+			}
+			addr := lagger.stageAddr
+			addr.Off += off
+			_ = qp.PostWrite(p, addr, aux[off:end])
+		}
+	}
+
+	// Completion record (lines 16-17): rid and status 0, written to every
+	// replica. The write to the lagger rides the same queue pair as the
+	// data, so RC in-order delivery guarantees the data landed first.
+	done := encodeStEntry(stEntry{reqTmp: reqTmp, status: stIdle, rid: rid, auxLen: uint64(len(aux))})
+	r.writeStRecord(p, laggerRank*stEntrySize, done)
+}
+
+// slotRanges maps objects to their byte ranges in the region and merges
+// adjacent ranges so transfers stream as few large writes as possible.
+func (r *Replica) slotRanges(oids []store.OID) [][2]int {
+	ranges := make([][2]int, 0, len(oids))
+	for _, oid := range oids {
+		addr, slotLen, ok := r.st.Addr(oid)
+		if !ok {
+			continue
+		}
+		ranges = append(ranges, [2]int{addr.Off, addr.Off + slotLen})
+	}
+	sort.Slice(ranges, func(i, j int) bool { return ranges[i][0] < ranges[j][0] })
+	merged := ranges[:0]
+	for _, rg := range ranges {
+		if n := len(merged); n > 0 && rg[0] <= merged[n-1][1] {
+			if rg[1] > merged[n-1][1] {
+				merged[n-1][1] = rg[1]
+			}
+			continue
+		}
+		merged = append(merged, rg)
+	}
+	return merged
+}
+
+// stStatusWord reads the status of this replica's own state-transfer
+// entry, for tests.
+func (r *Replica) stStatusWord() uint64 {
+	return binary.LittleEndian.Uint64(r.stMem.Bytes()[r.rank*stEntrySize+8 : r.rank*stEntrySize+16])
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+
+	"heron/internal/multicast"
+	"heron/internal/rdma"
+	"heron/internal/wire"
+)
+
+// Control-plane message kinds (distinct transport from the multicast).
+const (
+	ctlAddrQuery = 1 // executor -> remote replicas: query_obj_addr(oid)
+	ctlAddrReply = 2 // remote control proc -> executor
+	ctlResponse  = 3 // replica -> client: request response
+)
+
+type addrQuery struct {
+	oid uint64
+}
+
+func encodeAddrQuery(q *addrQuery) []byte {
+	w := wire.NewWriter(12)
+	w.U8(ctlAddrQuery)
+	w.U64(q.oid)
+	return w.Finish()
+}
+
+func decodeAddrQuery(r *wire.Reader) *addrQuery {
+	return &addrQuery{oid: r.U64()}
+}
+
+type addrReply struct {
+	oid     uint64
+	found   bool
+	key     uint32
+	off     uint64
+	slotLen uint32
+}
+
+func encodeAddrReply(m *addrReply) []byte {
+	w := wire.NewWriter(32)
+	w.U8(ctlAddrReply)
+	w.U64(m.oid)
+	w.Bool(m.found)
+	w.U32(m.key)
+	w.U64(m.off)
+	w.U32(m.slotLen)
+	return w.Finish()
+}
+
+func decodeAddrReply(r *wire.Reader) *addrReply {
+	return &addrReply{
+		oid:     r.U64(),
+		found:   r.Bool(),
+		key:     r.U32(),
+		off:     r.U64(),
+		slotLen: r.U32(),
+	}
+}
+
+type responseMsg struct {
+	id      multicast.MsgID
+	part    PartitionID
+	payload []byte
+}
+
+func encodeResponse(m *responseMsg) []byte {
+	w := wire.NewWriter(32 + len(m.payload))
+	w.U8(ctlResponse)
+	w.U64(uint64(m.id.Node))
+	w.U64(m.id.Seq)
+	w.U8(uint8(m.part))
+	w.Bytes(m.payload)
+	return w.Finish()
+}
+
+func decodeResponse(r *wire.Reader) *responseMsg {
+	return &responseMsg{
+		id:      multicast.MsgID{Node: rdma.NodeID(r.U64()), Seq: r.U64()},
+		part:    PartitionID(r.U8()),
+		payload: r.Bytes(),
+	}
+}
+
+// ctlKind splits the kind byte off a control datagram.
+func ctlKind(b []byte) (uint8, *wire.Reader, error) {
+	if len(b) == 0 {
+		return 0, nil, fmt.Errorf("core: empty control datagram")
+	}
+	return b[0], wire.NewReader(b[1:]), nil
+}

@@ -1,0 +1,139 @@
+package dynastar
+
+import (
+	"fmt"
+
+	"heron/internal/multicast"
+	"heron/internal/rdma"
+	"heron/internal/store"
+	"heron/internal/wire"
+)
+
+// Data-plane message kinds (NetData).
+const (
+	kindLookup    = 1 // client -> oracle
+	kindObjects   = 2 // owner partition -> executor replicas
+	kindWriteback = 3 // executor -> owner partition replicas
+	kindReply     = 4 // executor replica -> client
+)
+
+// lookupMsg is a client submission to the oracle.
+type lookupMsg struct {
+	client  rdma.NodeID
+	seq     uint64
+	payload []byte
+}
+
+func encodeLookup(m *lookupMsg) []byte {
+	w := wire.NewWriter(24 + len(m.payload))
+	w.U8(kindLookup)
+	w.U64(uint64(m.client))
+	w.U64(m.seq)
+	w.Bytes(m.payload)
+	return w.Finish()
+}
+
+func decodeLookup(r *wire.Reader) *lookupMsg {
+	return &lookupMsg{client: rdma.NodeID(r.U64()), seq: r.U64(), payload: r.Bytes()}
+}
+
+// routedReq is the payload the oracle multicasts to the involved
+// partitions: the original request plus routing decisions.
+type routedReq struct {
+	client   rdma.NodeID
+	seq      uint64
+	executor PartitionID
+	payload  []byte
+}
+
+func encodeRouted(m *routedReq) []byte {
+	w := wire.NewWriter(32 + len(m.payload))
+	w.U64(uint64(m.client))
+	w.U64(m.seq)
+	w.U8(uint8(m.executor))
+	w.Bytes(m.payload)
+	return w.Finish()
+}
+
+func decodeRouted(b []byte) (*routedReq, error) {
+	r := wire.NewReader(b)
+	m := &routedReq{
+		client:   rdma.NodeID(r.U64()),
+		seq:      r.U64(),
+		executor: PartitionID(r.U8()),
+		payload:  r.Bytes(),
+	}
+	return m, r.Err()
+}
+
+// objPair is one migrated object.
+type objPair struct {
+	oid store.OID
+	val []byte
+}
+
+// objectsMsg carries an owner partition's objects to the executor (or the
+// executor's updates back).
+type objectsMsg struct {
+	id   multicast.MsgID // the ordered request this belongs to
+	from PartitionID
+	objs []objPair
+}
+
+func encodeObjects(kind uint8, m *objectsMsg) []byte {
+	size := 32
+	for _, o := range m.objs {
+		size += 16 + len(o.val)
+	}
+	w := wire.NewWriter(size)
+	w.U8(kind)
+	w.U64(uint64(m.id.Node))
+	w.U64(m.id.Seq)
+	w.U8(uint8(m.from))
+	w.U32(uint32(len(m.objs)))
+	for _, o := range m.objs {
+		w.U64(uint64(o.oid))
+		w.Bytes(o.val)
+	}
+	return w.Finish()
+}
+
+func decodeObjects(r *wire.Reader) *objectsMsg {
+	m := &objectsMsg{
+		id:   multicast.MsgID{Node: rdma.NodeID(r.U64()), Seq: r.U64()},
+		from: PartitionID(r.U8()),
+	}
+	n := int(r.U32())
+	for i := 0; i < n && r.Err() == nil; i++ {
+		m.objs = append(m.objs, objPair{oid: store.OID(r.U64()), val: r.Bytes()})
+	}
+	return m
+}
+
+// replyMsg is the executor's response to the client.
+type replyMsg struct {
+	seq     uint64
+	part    PartitionID
+	payload []byte
+}
+
+func encodeReply(m *replyMsg) []byte {
+	w := wire.NewWriter(24 + len(m.payload))
+	w.U8(kindReply)
+	w.U64(m.seq)
+	w.U8(uint8(m.part))
+	w.Bytes(m.payload)
+	return w.Finish()
+}
+
+func decodeReply(r *wire.Reader) *replyMsg {
+	return &replyMsg{seq: r.U64(), part: PartitionID(r.U8()), payload: r.Bytes()}
+}
+
+// dKind splits the kind byte off a data-plane datagram.
+func dKind(b []byte) (uint8, *wire.Reader, error) {
+	if len(b) == 0 {
+		return 0, nil, fmt.Errorf("dynastar: empty datagram")
+	}
+	return b[0], wire.NewReader(b[1:]), nil
+}

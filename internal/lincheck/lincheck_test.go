@@ -1,0 +1,142 @@
+package lincheck
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func reg(kind, key string, arg int64) RegisterOp {
+	return RegisterOp{Kind: kind, Key: key, Arg: arg}
+}
+
+func TestSequentialHistoryLinearizable(t *testing.T) {
+	h := []Operation{
+		{Input: reg("write", "x", 5), Output: nil, Call: 0, Return: 1},
+		{Input: reg("read", "x", 0), Output: int64(5), Call: 2, Return: 3},
+		{Input: reg("add", "x", 2), Output: int64(7), Call: 4, Return: 5},
+		{Input: reg("read", "x", 0), Output: int64(7), Call: 6, Return: 7},
+	}
+	ok, err := Check(RegisterModel(), h)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+}
+
+func TestStaleReadNotLinearizable(t *testing.T) {
+	// The write completes strictly before the read starts, yet the read
+	// misses it.
+	h := []Operation{
+		{Input: reg("write", "x", 5), Output: nil, Call: 0, Return: 1},
+		{Input: reg("read", "x", 0), Output: int64(0), Call: 2, Return: 3},
+	}
+	ok, err := Check(RegisterModel(), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("stale read accepted")
+	}
+}
+
+func TestConcurrentReadMayGoEitherWay(t *testing.T) {
+	// A read concurrent with a write may see either value.
+	for _, seen := range []int64{0, 5} {
+		h := []Operation{
+			{Input: reg("write", "x", 5), Output: nil, Call: 0, Return: 10},
+			{Input: reg("read", "x", 0), Output: seen, Call: 1, Return: 2},
+		}
+		ok, err := Check(RegisterModel(), h)
+		if err != nil || !ok {
+			t.Fatalf("concurrent read of %d rejected: ok=%v err=%v", seen, ok, err)
+		}
+	}
+}
+
+func TestLostUpdateNotLinearizable(t *testing.T) {
+	// Two sequential adds of 1 must both be visible to a later read.
+	h := []Operation{
+		{Input: reg("add", "x", 1), Output: int64(1), Call: 0, Return: 1},
+		{Input: reg("add", "x", 1), Output: int64(1), Call: 2, Return: 3}, // lost update
+		{Input: reg("read", "x", 0), Output: int64(1), Call: 4, Return: 5},
+	}
+	ok, err := Check(RegisterModel(), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("lost update accepted")
+	}
+}
+
+func TestRealTimeOrderViolation(t *testing.T) {
+	// Op B starts after op A returns, so A must linearize first; outputs
+	// force the opposite order -> not linearizable.
+	h := []Operation{
+		{Input: reg("add", "x", 1), Output: int64(2), Call: 0, Return: 1}, // claims to be second
+		{Input: reg("add", "x", 1), Output: int64(1), Call: 2, Return: 3}, // claims to be first
+	}
+	ok, err := Check(RegisterModel(), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("real-time-order violation accepted")
+	}
+}
+
+func TestEmptyAndMalformed(t *testing.T) {
+	ok, err := Check(RegisterModel(), nil)
+	if err != nil || !ok {
+		t.Fatalf("empty history: ok=%v err=%v", ok, err)
+	}
+	_, err = Check(RegisterModel(), []Operation{{Input: reg("read", "x", 0), Call: 5, Return: 1}})
+	if err == nil {
+		t.Fatal("want error for Return < Call")
+	}
+	big := make([]Operation, 65)
+	for i := range big {
+		big[i] = Operation{Input: reg("read", "x", 0), Output: int64(0), Call: int64(i), Return: int64(i)}
+	}
+	if _, err := Check(RegisterModel(), big); err == nil {
+		t.Fatal("want error for oversized history")
+	}
+}
+
+// TestPropertySequentialChainsAlwaysLinearizable: generating a valid
+// sequential execution and then overlapping intervals arbitrarily (while
+// keeping each response after its invocation and preserving the original
+// order's outputs) must stay linearizable — the original order is a
+// witness.
+func TestPropertySequentialChainsAlwaysLinearizable(t *testing.T) {
+	model := RegisterModel()
+	checkFn := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		state := model.Init()
+		h := make([]Operation, n)
+		for i := 0; i < n; i++ {
+			var in RegisterOp
+			switch rng.Intn(3) {
+			case 0:
+				in = reg("read", "x", 0)
+			case 1:
+				in = reg("write", "x", int64(rng.Intn(5)))
+			default:
+				in = reg("add", "x", int64(1+rng.Intn(3)))
+			}
+			var out any
+			state, out = model.Step(state, in)
+			// Sequential points i, stretched into overlapping intervals:
+			// call anywhere <= i, return anywhere >= i.
+			call := int64(i*10) - int64(rng.Intn(10))
+			ret := int64(i*10) + int64(rng.Intn(10))
+			h[i] = Operation{Input: in, Output: out, Call: call, Return: ret}
+		}
+		ok, err := Check(model, h)
+		return err == nil && ok
+	}
+	if err := quick.Check(checkFn, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

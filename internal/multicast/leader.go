@@ -1,0 +1,215 @@
+package multicast
+
+import (
+	"fmt"
+	"sort"
+
+	"heron/internal/rdma"
+	"heron/internal/sim"
+)
+
+// propose assigns this group's proposal timestamp to a client message and
+// starts its ordering. Single-group messages skip the proposal round and
+// are decided immediately; multi-group messages replicate the proposal to
+// a quorum before it is sent to the other destination groups (so the
+// promise survives leader failure).
+func (pr *Process) propose(p *sim.Proc, m *clientMsg) {
+	pr.lc++
+	prop := MakeTimestamp(pr.lc, pr.group)
+	pend := &pendingMsg{
+		msg:     *m,
+		ownProp: prop,
+		props:   make(map[GroupID]Timestamp),
+	}
+	pr.pending[m.id] = pend
+	pr.mergeRemoteProps(pend)
+	delete(pr.unproposed, m.id)
+
+	if len(m.dst) == 1 {
+		// Fast path: the only proposal is ours, so the message is decided.
+		pend.final = prop
+		pend.propStable = true
+		pr.tryCommit(p)
+		return
+	}
+
+	pr.repSeq++
+	rec := encodeRepProposal(&repProposal{view: pr.view, repSeq: pr.repSeq, msg: *m, prop: prop})
+	pr.broadcastGroup(p, rec)
+	pr.addMilestone(p, pr.repSeq, func(p *sim.Proc) {
+		pend.propStable = true
+		pr.sendProposals(p, pend)
+		pr.tryDecide(p, pend)
+	})
+}
+
+// sendProposals transmits this group's proposal for pend to every member
+// of every other destination group (members, not just leaders, so the
+// proposal survives remote leader changes).
+func (pr *Process) sendProposals(p *sim.Proc, pend *pendingMsg) {
+	rec := encodeProposal(&proposalMsg{fromGroup: pr.group, id: pend.msg.id, prop: pend.ownProp})
+	for _, h := range pend.msg.dst {
+		if h == pr.group {
+			continue
+		}
+		for _, member := range pr.cfg.Groups[h] {
+			pr.send(p, member, rec)
+		}
+	}
+	pend.lastSend = p.Now()
+}
+
+// retryProposals retransmits proposals for messages stuck waiting on
+// other groups (heals protocol messages lost to crashes).
+func (pr *Process) retryProposals(p *sim.Proc, now sim.Time) {
+	for _, pend := range pr.pending {
+		if pend.final != 0 || !pend.propStable || len(pend.msg.dst) == 1 {
+			continue
+		}
+		if now-pend.lastSend >= sim.Time(pr.cfg.RetryInterval) {
+			pr.sendProposals(p, pend)
+		}
+	}
+}
+
+// tryDecide checks whether all destination groups have proposed for pend
+// and, if so, fixes the final timestamp (the maximum proposal).
+func (pr *Process) tryDecide(p *sim.Proc, pend *pendingMsg) {
+	if pend.final != 0 || pend.ownProp == 0 {
+		return
+	}
+	final := pend.ownProp
+	for _, h := range pend.msg.dst {
+		if h == pr.group {
+			continue
+		}
+		ts, ok := pend.props[h]
+		if !ok {
+			return
+		}
+		if ts > final {
+			final = ts
+		}
+	}
+	pend.final = final
+	if c := final.Clock(); c > pr.lc {
+		pr.lc = c
+	}
+	pr.tryCommit(p)
+}
+
+// tryCommit appends decided messages to the group log in final-timestamp
+// order. A decided message may be appended only when no undecided pending
+// message could still receive a smaller final timestamp — i.e. when every
+// undecided proposal in this group exceeds the candidate's final
+// timestamp (a final timestamp is the max over proposals, so it can only
+// grow).
+func (pr *Process) tryCommit(p *sim.Proc) {
+	for {
+		var candidate *pendingMsg
+		minUndecided := Timestamp(0)
+		for _, pend := range pr.pending {
+			if pend.final == 0 {
+				if minUndecided == 0 || pend.ownProp < minUndecided {
+					minUndecided = pend.ownProp
+				}
+			} else if candidate == nil || pend.final < candidate.final {
+				candidate = pend
+			}
+		}
+		if candidate == nil {
+			return
+		}
+		if minUndecided != 0 && minUndecided < candidate.final {
+			return
+		}
+		pr.appendEntry(p, candidate)
+	}
+}
+
+// appendEntry commits one decided message: append to the log, replicate,
+// and register the quorum milestone that advances the commit index.
+func (pr *Process) appendEntry(p *sim.Proc, pend *pendingMsg) {
+	if n := len(pr.log); n > 0 && pend.final <= pr.log[n-1].ts {
+		panic(fmt.Sprintf("multicast: group %d appending ts %v after %v",
+			pr.group, pend.final, pr.log[n-1].ts))
+	}
+	gseq := pr.logBase + uint64(len(pr.log))
+	entry := logEntry{id: pend.msg.id, ts: pend.final, dst: pend.msg.dst, payload: pend.msg.payload}
+	pr.log = append(pr.log, entry)
+	pr.committed[pend.msg.id] = true
+	delete(pr.pending, pend.msg.id)
+	delete(pr.remoteProps, pend.msg.id)
+
+	pr.repSeq++
+	rec := encodeRepCommit(&repCommit{
+		view:    pr.view,
+		repSeq:  pr.repSeq,
+		gseq:    gseq,
+		id:      pend.msg.id,
+		ts:      pend.final,
+		hasBody: len(pend.msg.dst) == 1, // multi-group bodies rode the proposal record
+		dst:     pend.msg.dst,
+		payload: pend.msg.payload,
+	})
+	pr.broadcastGroup(p, rec)
+	pr.recordRepGseq(pr.repSeq, gseq+1)
+	pr.addMilestone(p, pr.repSeq, func(p *sim.Proc) {
+		if gseq+1 > pr.commitIdx {
+			pr.commitIdx = gseq + 1
+			pr.deliverCommitted()
+			pr.maybeTruncate()
+			pr.broadcastGroup(p, encodeCommitIdx(kindCommitIdx, &commitIdxMsg{view: pr.view, commitIdx: pr.commitIdx, truncate: pr.truncateTo}))
+		}
+	})
+}
+
+// addMilestone registers fn to run once a quorum of followers has acked
+// replication records up to seq, firing immediately if already satisfied.
+func (pr *Process) addMilestone(p *sim.Proc, seq uint64, fn func(p *sim.Proc)) {
+	pr.milestones = append(pr.milestones, milestone{seq: seq, fn: fn})
+	pr.fireMilestones(p)
+}
+
+// quorumAcked returns the highest repSeq acknowledged by at least f
+// followers (which, with the leader itself, forms an f+1 quorum).
+func (pr *Process) quorumAcked() uint64 {
+	f := pr.f()
+	if f == 0 {
+		return ^uint64(0)
+	}
+	acks := make([]uint64, 0, pr.n()-1)
+	for rank, a := range pr.ackedRep {
+		if rank == pr.rank {
+			continue
+		}
+		acks = append(acks, a)
+	}
+	sort.Slice(acks, func(i, j int) bool { return acks[i] > acks[j] })
+	return acks[f-1]
+}
+
+// fireMilestones runs every milestone covered by the current quorum ack.
+func (pr *Process) fireMilestones(p *sim.Proc) {
+	q := pr.quorumAcked()
+	for len(pr.milestones) > 0 && pr.milestones[0].seq <= q {
+		m := pr.milestones[0]
+		pr.milestones = pr.milestones[1:]
+		m.fn(p)
+	}
+}
+
+// onAck records a follower's cumulative replication ack.
+func (pr *Process) onAck(p *sim.Proc, m *ackMsg, from rdma.NodeID) {
+	if pr.role != roleLeader || m.view != pr.view {
+		return
+	}
+	rank := pr.rankOf(from)
+	if rank < 0 {
+		return
+	}
+	if m.repSeq > pr.ackedRep[rank] {
+		pr.ackedRep[rank] = m.repSeq
+		pr.fireMilestones(p)
+	}
+}

@@ -1,0 +1,529 @@
+package multicast
+
+import (
+	"fmt"
+
+	"heron/internal/rdma"
+	"heron/internal/sim"
+)
+
+// role is a replica's current protocol role.
+type role int
+
+const (
+	roleFollower role = iota + 1
+	roleLeader
+	roleCandidate
+)
+
+// logEntry is one committed-order slot in the group log.
+type logEntry struct {
+	id      MsgID
+	ts      Timestamp
+	dst     []GroupID
+	payload []byte
+}
+
+// pendingMsg tracks a message proposed by this group but not yet
+// committed to the group log.
+type pendingMsg struct {
+	msg        clientMsg
+	ownProp    Timestamp
+	props      map[GroupID]Timestamp
+	propStable bool      // own proposal replicated to a quorum
+	final      Timestamp // 0 until decided
+	lastSend   sim.Time
+}
+
+// milestone is a deferred action fired once a quorum of followers has
+// acknowledged replication records up to seq.
+type milestone struct {
+	seq uint64
+	fn  func(p *sim.Proc)
+}
+
+// Process is one multicast replica: a member of one group, hosted on one
+// fabric node. Its event loop runs as a single simulation process.
+type Process struct {
+	cfg   *Config
+	group GroupID
+	rank  int
+	id    rdma.NodeID
+	tr    Transport
+	ep    Endpoint
+	out   *sim.Chan[Delivery]
+	proc  *sim.Proc
+
+	role             role
+	view             uint64
+	votedView        uint64
+	lastAcceptedView uint64
+	lc               uint64
+
+	log       []logEntry
+	logBase   uint64 // absolute index of log[0] (grows with truncation)
+	commitIdx uint64
+	delivered uint64
+	// truncateTo is the group-wide safe truncation point advertised to
+	// followers on commit-index messages.
+	truncateTo uint64
+	// repToGseq records, per replication record that carried a log
+	// append, the absolute log length it established — used to translate
+	// follower acks into safe truncation points. Pruned on truncation.
+	repToGseq []repGseq
+
+	pending     map[MsgID]*pendingMsg
+	remoteProps map[MsgID]map[GroupID]Timestamp
+	committed   map[MsgID]bool
+	unproposed  map[MsgID]*clientMsg
+
+	// Leader state.
+	repSeq        uint64
+	ackedRep      []uint64 // per follower rank, for the current view
+	milestones    []milestone
+	nextHeartbeat sim.Time
+
+	// Follower state.
+	leaderDeadline sim.Time
+	suspectView    uint64
+
+	// Candidate state.
+	vcView     uint64
+	vcStates   map[int]*viewState
+	vcDeadline sim.Time
+
+	// Pending cumulative ack (flushed once per drain burst).
+	needAck bool
+
+	lastDeliveredTs Timestamp
+
+	// Stats counters (read by benchmarks).
+	statDelivered uint64
+	statHandled   uint64
+}
+
+// NewProcess creates the multicast replica for (group, rank) of the
+// deployment. The node id is taken from cfg.Groups; it must already exist
+// on the transport's substrate.
+func NewProcess(tr Transport, cfg *Config, g GroupID, rank int) *Process {
+	id := cfg.Groups[g][rank]
+	pr := &Process{
+		cfg:         cfg,
+		group:       g,
+		rank:        rank,
+		id:          id,
+		tr:          tr,
+		ep:          tr.Endpoint(id),
+		out:         sim.NewChan[Delivery](tr.Scheduler()),
+		pending:     make(map[MsgID]*pendingMsg),
+		remoteProps: make(map[MsgID]map[GroupID]Timestamp),
+		committed:   make(map[MsgID]bool),
+		unproposed:  make(map[MsgID]*clientMsg),
+		ackedRep:    make([]uint64, len(cfg.Groups[g])),
+	}
+	if rank == 0 {
+		pr.role = roleLeader
+	} else {
+		pr.role = roleFollower
+	}
+	return pr
+}
+
+// Group returns the replica's group.
+func (pr *Process) Group() GroupID { return pr.group }
+
+// Rank returns the replica's rank within its group.
+func (pr *Process) Rank() int { return pr.rank }
+
+// NodeID returns the hosting node.
+func (pr *Process) NodeID() rdma.NodeID { return pr.id }
+
+// Deliveries returns the channel of committed, timestamped messages in
+// delivery order.
+func (pr *Process) Deliveries() *sim.Chan[Delivery] { return pr.out }
+
+// IsLeader reports whether the replica currently acts as its group's
+// leader.
+func (pr *Process) IsLeader() bool { return pr.role == roleLeader }
+
+// View returns the replica's current view number.
+func (pr *Process) View() uint64 { return pr.view }
+
+// CommitIdx returns the number of committed log entries.
+func (pr *Process) CommitIdx() uint64 { return pr.commitIdx }
+
+// Delivered returns the number of messages delivered to the application.
+func (pr *Process) Delivered() uint64 { return pr.statDelivered }
+
+// Start spawns the replica's event loop.
+func (pr *Process) Start(s *sim.Scheduler) {
+	name := fmt.Sprintf("mcast-g%d-r%d", pr.group, pr.rank)
+	pr.proc = s.Spawn(name, pr.run)
+}
+
+// Crash fails the replica: its node stops serving and its event loop
+// unwinds at the next scheduling point.
+func (pr *Process) Crash() {
+	pr.tr.Crash(pr.id)
+	if pr.proc != nil {
+		pr.proc.Kill()
+	}
+}
+
+// n and f for this replica's own group.
+func (pr *Process) n() int { return pr.cfg.n(pr.group) }
+func (pr *Process) f() int { return pr.cfg.f(pr.group) }
+
+// members returns the node ids of the replica's group.
+func (pr *Process) members() []rdma.NodeID { return pr.cfg.Groups[pr.group] }
+
+// rankOf maps a fabric node to its rank in this group, or -1.
+func (pr *Process) rankOf(id rdma.NodeID) int {
+	for i, m := range pr.members() {
+		if m == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// leaderRank returns the leader rank for view v.
+func (pr *Process) leaderRank(v uint64) int { return int(v % uint64(pr.n())) }
+
+// run is the replica's event loop: drain protocol datagrams, run timers.
+func (pr *Process) run(p *sim.Proc) {
+	now := p.Now()
+	pr.leaderDeadline = now + sim.Time(pr.cfg.LeaderTimeout)
+	pr.suspectView = pr.view
+	if pr.role == roleLeader {
+		pr.nextHeartbeat = now
+	}
+	for !pr.tr.Crashed(pr.id) {
+		pr.tick(p)
+		pr.flushAck(p)
+		d := pr.nextTimerDelay(p.Now())
+		msg, from, ok := pr.ep.RecvTimeout(p, d)
+		if !ok {
+			continue
+		}
+		p.Sleep(pr.cfg.HandlerCPU)
+		pr.handle(p, msg, from)
+		// Drain the burst before paying for timers again.
+		for i := 0; i < 256; i++ {
+			m2, f2, ok2 := pr.ep.TryRecv(p)
+			if !ok2 {
+				break
+			}
+			p.Sleep(pr.cfg.HandlerCPU)
+			pr.handle(p, m2, f2)
+		}
+	}
+	pr.out.Close()
+}
+
+// nextTimerDelay computes how long the loop may block before a timer is
+// due, clamped to keep the loop responsive.
+func (pr *Process) nextTimerDelay(now sim.Time) sim.Duration {
+	next := now + sim.Time(100*sim.Microsecond)
+	consider := func(t sim.Time) {
+		if t < next {
+			next = t
+		}
+	}
+	switch pr.role {
+	case roleLeader:
+		consider(pr.nextHeartbeat)
+	case roleFollower:
+		consider(pr.leaderDeadline)
+	case roleCandidate:
+		consider(pr.vcDeadline)
+	}
+	d := sim.Duration(next - now)
+	if d < sim.Microsecond {
+		d = sim.Microsecond
+	}
+	return d
+}
+
+// tick runs due timers.
+func (pr *Process) tick(p *sim.Proc) {
+	now := p.Now()
+	switch pr.role {
+	case roleLeader:
+		if now >= pr.nextHeartbeat {
+			pr.broadcastGroup(p, encodeCommitIdx(kindHeartbeat, &commitIdxMsg{view: pr.view, commitIdx: pr.commitIdx, truncate: pr.truncateTo}))
+			pr.nextHeartbeat = now + sim.Time(pr.cfg.HeartbeatInterval)
+		}
+		pr.retryProposals(p, now)
+	case roleFollower:
+		if now >= pr.leaderDeadline {
+			pr.suspectNext(p)
+		}
+	case roleCandidate:
+		if now >= pr.vcDeadline {
+			// Candidacy failed; fall back and let the next rank try.
+			pr.role = roleFollower
+			pr.leaderDeadline = now + sim.Time(pr.cfg.LeaderTimeout)
+			pr.suspectNext(p)
+		}
+	}
+}
+
+// flushAck sends the cumulative replication ack accumulated during the
+// last drain burst.
+func (pr *Process) flushAck(p *sim.Proc) {
+	if !pr.needAck {
+		return
+	}
+	pr.needAck = false
+	leader := pr.members()[pr.leaderRank(pr.view)]
+	if leader == pr.id {
+		return
+	}
+	pr.send(p, leader, encodeAck(&ackMsg{view: pr.view, repSeq: pr.repSeq}))
+}
+
+// send transmits one datagram, tolerating ring backpressure errors from
+// dead peers (they surface as dropped protocol messages, which the
+// retry/view-change machinery already covers).
+func (pr *Process) send(p *sim.Proc, to rdma.NodeID, payload []byte) {
+	_ = pr.tr.Send(p, pr.id, to, payload)
+}
+
+// broadcastGroup sends a datagram to every other member of the group.
+func (pr *Process) broadcastGroup(p *sim.Proc, payload []byte) {
+	for i, m := range pr.members() {
+		if i == pr.rank {
+			continue
+		}
+		pr.send(p, m, payload)
+	}
+}
+
+// handle dispatches one protocol datagram.
+func (pr *Process) handle(p *sim.Proc, datagram []byte, from rdma.NodeID) {
+	pr.statHandled++
+	kind, r, err := decodeKind(datagram)
+	if err != nil {
+		return
+	}
+	switch kind {
+	case kindClient:
+		m := decodeClient(r)
+		if r.Err() == nil {
+			pr.onClient(p, m)
+		}
+	case kindRepProposal:
+		m := decodeRepProposal(r)
+		if r.Err() == nil {
+			pr.onRepProposal(p, m)
+		}
+	case kindRepCommit:
+		m := decodeRepCommit(r)
+		if r.Err() == nil {
+			pr.onRepCommit(p, m)
+		}
+	case kindAck:
+		m := decodeAck(r)
+		if r.Err() == nil {
+			pr.onAck(p, m, from)
+		}
+	case kindProposal:
+		m := decodeProposal(r)
+		if r.Err() == nil {
+			pr.onProposal(p, m)
+		}
+	case kindCommitIdx, kindHeartbeat:
+		m := decodeCommitIdx(r)
+		if r.Err() == nil {
+			pr.onCommitIdx(p, m)
+		}
+	case kindViewReq:
+		m := decodeViewReq(r)
+		if r.Err() == nil {
+			pr.onViewReq(p, m, from)
+		}
+	case kindViewState:
+		m := decodeViewState(r)
+		if r.Err() == nil {
+			pr.onViewState(p, m, from)
+		}
+	}
+}
+
+// onClient handles a client submission: leaders propose, followers buffer
+// in case they become leader before the message is ordered.
+func (pr *Process) onClient(p *sim.Proc, m *clientMsg) {
+	if pr.committed[m.id] || pr.pending[m.id] != nil {
+		return
+	}
+	if pr.role == roleLeader {
+		pr.propose(p, m)
+		return
+	}
+	if _, ok := pr.unproposed[m.id]; !ok {
+		pr.unproposed[m.id] = m
+	}
+}
+
+// acceptView processes a view number seen on a leader-originated record.
+// It reports whether the record should be processed.
+func (pr *Process) acceptView(v uint64) bool {
+	if v < pr.votedView {
+		return false
+	}
+	if v > pr.view || pr.role != roleFollower {
+		if pr.role == roleLeader && v == pr.view {
+			// Own echo cannot happen; records carry the leader's view and
+			// leaders do not send to themselves.
+			return false
+		}
+		pr.role = roleFollower
+		pr.milestones = nil
+	}
+	pr.view = v
+	pr.votedView = v
+	pr.suspectView = v
+	return true
+}
+
+// onRepProposal handles replication of a message body + proposal.
+func (pr *Process) onRepProposal(p *sim.Proc, m *repProposal) {
+	if !pr.acceptView(m.view) {
+		return
+	}
+	pr.lastAcceptedView = m.view
+	pr.leaderDeadline = p.Now() + sim.Time(pr.cfg.LeaderTimeout)
+	if !pr.committed[m.msg.id] {
+		pend := pr.pending[m.msg.id]
+		if pend == nil {
+			pend = &pendingMsg{msg: m.msg, props: make(map[GroupID]Timestamp)}
+			pr.pending[m.msg.id] = pend
+		}
+		pend.ownProp = m.prop
+		pr.mergeRemoteProps(pend)
+	}
+	delete(pr.unproposed, m.msg.id)
+	if c := m.prop.Clock(); c > pr.lc {
+		pr.lc = c
+	}
+	pr.repSeq = m.repSeq
+	pr.needAck = true
+}
+
+// onRepCommit handles replication of a log append.
+func (pr *Process) onRepCommit(p *sim.Proc, m *repCommit) {
+	if !pr.acceptView(m.view) {
+		return
+	}
+	pr.lastAcceptedView = m.view
+	pr.leaderDeadline = p.Now() + sim.Time(pr.cfg.LeaderTimeout)
+
+	if m.gseq < pr.commitIdx {
+		// Duplicate of an already committed entry (re-replication); ack it.
+		pr.repSeq = m.repSeq
+		pr.needAck = true
+		return
+	}
+	entry := logEntry{id: m.id, ts: m.ts}
+	if m.hasBody {
+		entry.dst = m.dst
+		entry.payload = m.payload
+	} else {
+		pend := pr.pending[m.id]
+		if pend == nil {
+			// The body is replicated before the commit on this FIFO ring;
+			// a missing body means we joined mid-view. Do NOT ack: a
+			// cumulative ack over a hole would let the leader count us
+			// toward a quorum for an entry we do not have.
+			return
+		}
+		entry.dst = pend.msg.dst
+		entry.payload = pend.msg.payload
+	}
+	if m.gseq > pr.logBase+uint64(len(pr.log)) {
+		return // gap: wait for re-replication, and do not ack past it
+	}
+	pr.repSeq = m.repSeq
+	pr.needAck = true
+	pr.log = append(pr.log[:m.gseq-pr.logBase], entry)
+	pr.committed[m.id] = true
+	delete(pr.pending, m.id)
+	delete(pr.unproposed, m.id)
+	delete(pr.remoteProps, m.id)
+	if c := m.ts.Clock(); c > pr.lc {
+		pr.lc = c
+	}
+}
+
+// onCommitIdx handles commit-index advances and heartbeats.
+func (pr *Process) onCommitIdx(p *sim.Proc, m *commitIdxMsg) {
+	if !pr.acceptView(m.view) {
+		return
+	}
+	pr.leaderDeadline = p.Now() + sim.Time(pr.cfg.LeaderTimeout)
+	idx := m.commitIdx
+	if max := pr.logBase + uint64(len(pr.log)); idx > max {
+		idx = max
+	}
+	if idx > pr.commitIdx {
+		pr.commitIdx = idx
+		pr.deliverCommitted()
+	}
+	// Apply the leader's advertised truncation point, never beyond what
+	// we have delivered ourselves.
+	if m.truncate > 0 {
+		safe := m.truncate
+		if safe > pr.delivered {
+			safe = pr.delivered
+		}
+		pr.dropPrefix(safe)
+	}
+}
+
+// onProposal records another group's proposal; the leader also tries to
+// decide the message.
+func (pr *Process) onProposal(p *sim.Proc, m *proposalMsg) {
+	props := pr.remoteProps[m.id]
+	if props == nil {
+		if pr.committed[m.id] {
+			return
+		}
+		props = make(map[GroupID]Timestamp)
+		pr.remoteProps[m.id] = props
+	}
+	props[m.fromGroup] = m.prop
+	if pend := pr.pending[m.id]; pend != nil {
+		pend.props[m.fromGroup] = m.prop
+		if pr.role == roleLeader {
+			pr.tryDecide(p, pend)
+		}
+	}
+}
+
+// mergeRemoteProps folds proposals that arrived before the pending entry
+// existed into it.
+func (pr *Process) mergeRemoteProps(pend *pendingMsg) {
+	if props, ok := pr.remoteProps[pend.msg.id]; ok {
+		for g, ts := range props {
+			pend.props[g] = ts
+		}
+	}
+}
+
+// deliverCommitted hands committed-but-undelivered entries to the
+// application, enforcing timestamp monotonicity (a violated invariant is
+// a protocol bug, surfaced loudly).
+func (pr *Process) deliverCommitted() {
+	for pr.delivered < pr.commitIdx {
+		e := pr.log[pr.delivered-pr.logBase]
+		if e.ts <= pr.lastDeliveredTs {
+			panic(fmt.Sprintf("multicast: group %d rank %d delivering ts %v after %v",
+				pr.group, pr.rank, e.ts, pr.lastDeliveredTs))
+		}
+		pr.lastDeliveredTs = e.ts
+		pr.out.Send(Delivery{ID: e.id, Ts: e.ts, Dst: e.dst, Payload: e.payload})
+		pr.delivered++
+		pr.statDelivered++
+	}
+}

@@ -1,0 +1,111 @@
+package multicast
+
+// Log truncation bounds a replica's memory in long-running deployments.
+//
+// A group-log prefix can be discarded once every member of the group has
+// delivered it: it will never be needed for view-change state exchange
+// (any new leader already has it) or for re-replication. Leaders learn
+// follower delivery positions from the acks they already receive;
+// followers learn the group-wide safe point from a field piggybacked on
+// heartbeats.
+//
+// Truncation keeps logical indices stable: the log slice drops a prefix
+// but gseq/commitIdx/delivered remain absolute, offset by logBase.
+
+// truncateThreshold returns the retained-entry count that triggers a
+// truncation attempt.
+func (pr *Process) truncateThreshold() uint64 {
+	if pr.cfg.TruncateEvery > 0 {
+		return uint64(pr.cfg.TruncateEvery)
+	}
+	return 4096
+}
+
+// repGseq maps a replication record to the absolute log length it
+// established.
+type repGseq struct {
+	rep  uint64
+	upTo uint64 // gseq + 1
+}
+
+// recordRepGseq notes that the replication record rep carried the append
+// establishing absolute log length upTo.
+func (pr *Process) recordRepGseq(rep, upTo uint64) {
+	pr.repToGseq = append(pr.repToGseq, repGseq{rep: rep, upTo: upTo})
+}
+
+// safeTruncationPoint returns the highest absolute index every member of
+// the group has APPENDED (acked), as known to the leader. Followers
+// additionally clamp to their own delivered position, so advertising
+// this point is always safe.
+func (pr *Process) safeTruncationPoint() uint64 {
+	if pr.role != roleLeader {
+		return 0
+	}
+	minAck := ^uint64(0)
+	for rank, acked := range pr.ackedRep {
+		if rank == pr.rank {
+			continue
+		}
+		if acked < minAck {
+			minAck = acked
+		}
+	}
+	// Largest established log length whose record every follower acked.
+	var safe uint64
+	for _, rg := range pr.repToGseq {
+		if rg.rep > minAck {
+			break
+		}
+		safe = rg.upTo
+	}
+	if safe > pr.commitIdx {
+		safe = pr.commitIdx
+	}
+	// The leader must also have delivered what it discards.
+	if safe > pr.delivered {
+		safe = pr.delivered
+	}
+	return safe
+}
+
+// maybeTruncate drops a delivered-everywhere log prefix. Called by the
+// leader after commit-index advances.
+func (pr *Process) maybeTruncate() {
+	if pr.commitIdx-pr.logBase < pr.truncateThreshold() {
+		return
+	}
+	safe := pr.safeTruncationPoint()
+	if safe <= pr.logBase {
+		return
+	}
+	pr.dropPrefix(safe)
+	// Tell followers the safe point on the next heartbeat (piggybacked in
+	// commitIdx messages' truncate field).
+	pr.truncateTo = safe
+}
+
+// dropPrefix discards log entries below absolute index `to`.
+func (pr *Process) dropPrefix(to uint64) {
+	if to <= pr.logBase {
+		return
+	}
+	n := to - pr.logBase
+	if n > uint64(len(pr.log)) {
+		n = uint64(len(pr.log))
+	}
+	pr.log = append([]logEntry(nil), pr.log[n:]...)
+	pr.logBase += n
+	// Prune the rep->gseq index below the new base.
+	i := 0
+	for i < len(pr.repToGseq) && pr.repToGseq[i].upTo <= pr.logBase {
+		i++
+	}
+	pr.repToGseq = append([]repGseq(nil), pr.repToGseq[i:]...)
+}
+
+// LogLen returns the retained (non-truncated) log length, for tests.
+func (pr *Process) LogLen() int { return len(pr.log) }
+
+// LogBase returns the absolute index of the first retained entry.
+func (pr *Process) LogBase() uint64 { return pr.logBase }

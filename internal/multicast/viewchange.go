@@ -1,0 +1,240 @@
+package multicast
+
+import (
+	"sort"
+
+	"heron/internal/rdma"
+	"heron/internal/sim"
+)
+
+// suspectNext advances leader suspicion to the next view. If this replica
+// is the candidate for the suspected view it starts a candidacy,
+// otherwise it waits one more leader-timeout for that view's candidate to
+// show up.
+func (pr *Process) suspectNext(p *sim.Proc) {
+	pr.suspectView++
+	if pr.suspectView <= pr.votedView {
+		pr.suspectView = pr.votedView + 1
+	}
+	if pr.leaderRank(pr.suspectView) == pr.rank {
+		pr.startCandidacy(p, pr.suspectView)
+		return
+	}
+	pr.leaderDeadline = p.Now() + sim.Time(pr.cfg.LeaderTimeout)
+}
+
+// startCandidacy requests view v from all group members and waits for a
+// quorum of view states.
+func (pr *Process) startCandidacy(p *sim.Proc, v uint64) {
+	pr.role = roleCandidate
+	pr.vcView = v
+	pr.votedView = v
+	pr.vcStates = map[int]*viewState{pr.rank: pr.snapshotState()}
+	pr.vcDeadline = p.Now() + sim.Time(pr.cfg.LeaderTimeout)
+	pr.broadcastGroup(p, encodeViewReq(&viewReq{view: v}))
+	pr.maybeAdopt(p) // n=1 groups win immediately
+}
+
+// snapshotState captures this replica's protocol state for view change.
+func (pr *Process) snapshotState() *viewState {
+	st := &viewState{
+		view:             pr.votedView,
+		lastAcceptedView: pr.lastAcceptedView,
+		lc:               pr.lc,
+		commitIdx:        pr.commitIdx,
+		logBase:          pr.logBase,
+		log:              pr.log,
+	}
+	for _, pend := range pr.pending {
+		st.pending = append(st.pending, pendingState{
+			msg:     pend.msg,
+			ownProp: pend.ownProp,
+			props:   pend.props,
+		})
+	}
+	// Buffered-but-unordered client messages ride along as pendings with
+	// no proposal, so a new leader learns about them even if the client's
+	// write to it was lost.
+	for _, m := range pr.unproposed {
+		st.pending = append(st.pending, pendingState{msg: *m})
+	}
+	return st
+}
+
+// onViewReq votes for a candidate's view and ships it our state.
+func (pr *Process) onViewReq(p *sim.Proc, m *viewReq, from rdma.NodeID) {
+	if m.view < pr.votedView {
+		return
+	}
+	if m.view > pr.votedView || pr.role != roleCandidate {
+		pr.votedView = m.view
+		pr.suspectView = m.view
+		pr.role = roleFollower
+		pr.milestones = nil
+		// Give the candidate room before suspecting this view too.
+		pr.leaderDeadline = p.Now() + 2*sim.Time(pr.cfg.LeaderTimeout)
+	}
+	pr.send(p, from, encodeViewState(pr.snapshotState()))
+}
+
+// onViewState collects a member's state during candidacy.
+func (pr *Process) onViewState(p *sim.Proc, m *viewState, from rdma.NodeID) {
+	if pr.role != roleCandidate || m.view != pr.vcView {
+		return
+	}
+	rank := pr.rankOf(from)
+	if rank < 0 {
+		return
+	}
+	pr.vcStates[rank] = m
+	pr.maybeAdopt(p)
+}
+
+// maybeAdopt becomes leader once a quorum of states (including our own)
+// has been collected.
+func (pr *Process) maybeAdopt(p *sim.Proc) {
+	if pr.role != roleCandidate || len(pr.vcStates) < pr.f()+1 {
+		return
+	}
+	pr.adopt(p)
+}
+
+// adopt installs the freshest collected state and resumes as leader of
+// vcView: the log comes from the state with the highest
+// (lastAcceptedView, log length); pendings are unioned freshest-first;
+// everything is re-replicated so all members converge.
+func (pr *Process) adopt(p *sim.Proc) {
+	states := make([]*viewState, 0, len(pr.vcStates))
+	for _, st := range pr.vcStates {
+		states = append(states, st)
+	}
+	sort.Slice(states, func(i, j int) bool {
+		if states[i].lastAcceptedView != states[j].lastAcceptedView {
+			return states[i].lastAcceptedView > states[j].lastAcceptedView
+		}
+		return states[i].logBase+uint64(len(states[i].log)) > states[j].logBase+uint64(len(states[j].log))
+	})
+	best := states[0]
+
+	pr.log = best.log
+	pr.logBase = best.logBase
+	pr.commitIdx = best.commitIdx
+	pr.lc = best.lc
+	pr.committed = make(map[MsgID]bool, len(pr.log))
+	for i := range pr.log {
+		pr.committed[pr.log[i].id] = true
+	}
+	pr.pending = make(map[MsgID]*pendingMsg)
+	for _, st := range states {
+		if st.commitIdx > pr.commitIdx && st.commitIdx <= pr.logBase+uint64(len(pr.log)) {
+			pr.commitIdx = st.commitIdx
+		}
+		if st.lc > pr.lc {
+			pr.lc = st.lc
+		}
+		for i := range st.pending {
+			ps := &st.pending[i]
+			if pr.committed[ps.msg.id] || pr.pending[ps.msg.id] != nil {
+				continue
+			}
+			if ps.ownProp == 0 {
+				// Unordered client message carried by a member; propose it
+				// fresh once we are leader.
+				if _, queued := pr.unproposed[ps.msg.id]; !queued {
+					m := ps.msg
+					pr.unproposed[m.id] = &m
+				}
+				continue
+			}
+			pend := &pendingMsg{msg: ps.msg, ownProp: ps.ownProp, props: make(map[GroupID]Timestamp)}
+			for g, ts := range ps.props {
+				pend.props[g] = ts
+			}
+			pr.pending[ps.msg.id] = pend
+			delete(pr.unproposed, ps.msg.id)
+		}
+	}
+	for i := range pr.log {
+		if c := pr.log[i].ts.Clock(); c > pr.lc {
+			pr.lc = c
+		}
+	}
+	for _, pend := range pr.pending {
+		if c := pend.ownProp.Clock(); c > pr.lc {
+			pr.lc = c
+		}
+		pr.mergeRemoteProps(pend)
+	}
+
+	pr.role = roleLeader
+	pr.view = pr.vcView
+	pr.lastAcceptedView = pr.vcView
+	pr.repSeq = 0
+	for i := range pr.ackedRep {
+		pr.ackedRep[i] = 0
+	}
+	pr.milestones = nil
+	pr.vcStates = nil
+	pr.repToGseq = nil
+	pr.deliverCommitted()
+
+	// Re-replicate the retained log (bodies inline: followers may lack
+	// them). Entries below logBase were delivered by every member before
+	// truncation, so no correct member needs them.
+	for i := range pr.log {
+		e := &pr.log[i]
+		pr.repSeq++
+		rec := encodeRepCommit(&repCommit{
+			view:    pr.view,
+			repSeq:  pr.repSeq,
+			gseq:    pr.logBase + uint64(i),
+			id:      e.id,
+			ts:      e.ts,
+			hasBody: true,
+			dst:     e.dst,
+			payload: e.payload,
+		})
+		pr.broadcastGroup(p, rec)
+		pr.recordRepGseq(pr.repSeq, pr.logBase+uint64(i)+1)
+	}
+	logLen := pr.logBase + uint64(len(pr.log))
+	pr.addMilestone(p, pr.repSeq, func(p *sim.Proc) {
+		if logLen > pr.commitIdx {
+			pr.commitIdx = logLen
+			pr.deliverCommitted()
+		}
+		pr.broadcastGroup(p, encodeCommitIdx(kindCommitIdx, &commitIdxMsg{view: pr.view, commitIdx: pr.commitIdx, truncate: pr.truncateTo}))
+	})
+
+	// Re-replicate pending proposals and resume their ordering.
+	pendings := make([]*pendingMsg, 0, len(pr.pending))
+	for _, pend := range pr.pending {
+		pendings = append(pendings, pend)
+	}
+	sort.Slice(pendings, func(i, j int) bool { return pendings[i].ownProp < pendings[j].ownProp })
+	for _, pend := range pendings {
+		pend.propStable = false
+		pr.repSeq++
+		rec := encodeRepProposal(&repProposal{view: pr.view, repSeq: pr.repSeq, msg: pend.msg, prop: pend.ownProp})
+		pr.broadcastGroup(p, rec)
+		pend := pend
+		pr.addMilestone(p, pr.repSeq, func(p *sim.Proc) {
+			pend.propStable = true
+			pr.sendProposals(p, pend)
+			pr.tryDecide(p, pend)
+		})
+	}
+
+	// Propose every buffered client message that never got ordered —
+	// both those carried in view states and those that arrived in our own
+	// rings while we were a follower or candidate. (propose removes the
+	// entry from unproposed; deleting during range is safe.)
+	for id, m := range pr.unproposed {
+		if !pr.committed[id] && pr.pending[id] == nil {
+			pr.propose(p, m)
+		}
+	}
+
+	pr.nextHeartbeat = p.Now()
+	pr.tick(p)
+}

@@ -1,0 +1,312 @@
+package multicast
+
+import (
+	"fmt"
+
+	"heron/internal/rdma"
+	"heron/internal/wire"
+)
+
+// Protocol message kinds. Values start at 1 so a zero byte is invalid.
+const (
+	kindClient      = 1 // client -> all members of all destination groups
+	kindRepProposal = 2 // leader -> followers: message body + proposal ts
+	kindRepCommit   = 3 // leader -> followers: log append (body inline if single-group)
+	kindAck         = 4 // follower -> leader: cumulative replication ack
+	kindProposal    = 5 // leader -> members of other destination groups
+	kindCommitIdx   = 6 // leader -> followers: commit index advance
+	kindHeartbeat   = 7 // leader -> followers: liveness + commit index
+	kindViewReq     = 8 // candidate -> group members: view-change request
+	kindViewState   = 9 // member -> candidate: state for the new view
+)
+
+// clientMsg is the client submission.
+type clientMsg struct {
+	id      MsgID
+	dst     []GroupID
+	payload []byte
+}
+
+func encodeClient(m *clientMsg) []byte {
+	w := wire.NewWriter(24 + len(m.dst) + len(m.payload))
+	w.U8(kindClient)
+	encodeMsgID(w, m.id)
+	encodeDst(w, m.dst)
+	w.Bytes(m.payload)
+	return w.Finish()
+}
+
+func decodeClient(r *wire.Reader) *clientMsg {
+	return &clientMsg{id: decodeMsgID(r), dst: decodeDst(r), payload: r.Bytes()}
+}
+
+// repProposal replicates a message body plus the leader's proposal.
+type repProposal struct {
+	view   uint64
+	repSeq uint64
+	msg    clientMsg
+	prop   Timestamp
+}
+
+func encodeRepProposal(m *repProposal) []byte {
+	w := wire.NewWriter(48 + len(m.msg.payload))
+	w.U8(kindRepProposal)
+	w.U64(m.view)
+	w.U64(m.repSeq)
+	encodeMsgID(w, m.msg.id)
+	encodeDst(w, m.msg.dst)
+	w.Bytes(m.msg.payload)
+	w.U64(uint64(m.prop))
+	return w.Finish()
+}
+
+func decodeRepProposal(r *wire.Reader) *repProposal {
+	return &repProposal{
+		view:   r.U64(),
+		repSeq: r.U64(),
+		msg:    clientMsg{id: decodeMsgID(r), dst: decodeDst(r), payload: r.Bytes()},
+		prop:   Timestamp(r.U64()),
+	}
+}
+
+// repCommit replicates a log append. For single-group messages the body
+// rides inline (hasBody); multi-group bodies were already replicated by a
+// repProposal, so only the id is needed.
+type repCommit struct {
+	view    uint64
+	repSeq  uint64
+	gseq    uint64
+	id      MsgID
+	ts      Timestamp
+	hasBody bool
+	dst     []GroupID
+	payload []byte
+}
+
+func encodeRepCommit(m *repCommit) []byte {
+	w := wire.NewWriter(64 + len(m.payload))
+	w.U8(kindRepCommit)
+	w.U64(m.view)
+	w.U64(m.repSeq)
+	w.U64(m.gseq)
+	encodeMsgID(w, m.id)
+	w.U64(uint64(m.ts))
+	w.Bool(m.hasBody)
+	if m.hasBody {
+		encodeDst(w, m.dst)
+		w.Bytes(m.payload)
+	}
+	return w.Finish()
+}
+
+func decodeRepCommit(r *wire.Reader) *repCommit {
+	m := &repCommit{
+		view:   r.U64(),
+		repSeq: r.U64(),
+		gseq:   r.U64(),
+		id:     decodeMsgID(r),
+		ts:     Timestamp(r.U64()),
+	}
+	m.hasBody = r.Bool()
+	if m.hasBody {
+		m.dst = decodeDst(r)
+		m.payload = r.Bytes()
+	}
+	return m
+}
+
+// ackMsg acknowledges replication records up to repSeq (cumulative).
+type ackMsg struct {
+	view   uint64
+	repSeq uint64
+}
+
+func encodeAck(m *ackMsg) []byte {
+	w := wire.NewWriter(20)
+	w.U8(kindAck)
+	w.U64(m.view)
+	w.U64(m.repSeq)
+	return w.Finish()
+}
+
+func decodeAck(r *wire.Reader) *ackMsg {
+	return &ackMsg{view: r.U64(), repSeq: r.U64()}
+}
+
+// proposalMsg carries one group's proposal to another group's members.
+type proposalMsg struct {
+	fromGroup GroupID
+	id        MsgID
+	prop      Timestamp
+}
+
+func encodeProposal(m *proposalMsg) []byte {
+	w := wire.NewWriter(30)
+	w.U8(kindProposal)
+	w.U8(uint8(m.fromGroup))
+	encodeMsgID(w, m.id)
+	w.U64(uint64(m.prop))
+	return w.Finish()
+}
+
+func decodeProposal(r *wire.Reader) *proposalMsg {
+	return &proposalMsg{
+		fromGroup: GroupID(r.U8()),
+		id:        decodeMsgID(r),
+		prop:      Timestamp(r.U64()),
+	}
+}
+
+// commitIdxMsg advances followers' commit index.
+type commitIdxMsg struct {
+	view      uint64
+	commitIdx uint64
+	// truncate advertises the group-wide safe log truncation point.
+	truncate uint64
+}
+
+func encodeCommitIdx(kind uint8, m *commitIdxMsg) []byte {
+	w := wire.NewWriter(28)
+	w.U8(kind)
+	w.U64(m.view)
+	w.U64(m.commitIdx)
+	w.U64(m.truncate)
+	return w.Finish()
+}
+
+func decodeCommitIdx(r *wire.Reader) *commitIdxMsg {
+	return &commitIdxMsg{view: r.U64(), commitIdx: r.U64(), truncate: r.U64()}
+}
+
+// viewReq asks a member to join view `view` and report its state.
+type viewReq struct {
+	view uint64
+}
+
+func encodeViewReq(m *viewReq) []byte {
+	w := wire.NewWriter(12)
+	w.U8(kindViewReq)
+	w.U64(m.view)
+	return w.Finish()
+}
+
+func decodeViewReq(r *wire.Reader) *viewReq {
+	return &viewReq{view: r.U64()}
+}
+
+// viewState is a member's full protocol state offered to a candidate.
+type viewState struct {
+	view             uint64
+	lastAcceptedView uint64
+	lc               uint64
+	commitIdx        uint64
+	logBase          uint64
+	log              []logEntry
+	pending          []pendingState
+}
+
+// pendingState is the view-change snapshot of a pending message.
+type pendingState struct {
+	msg     clientMsg
+	ownProp Timestamp
+	props   map[GroupID]Timestamp
+}
+
+func encodeViewState(m *viewState) []byte {
+	w := wire.NewWriter(256)
+	w.U8(kindViewState)
+	w.U64(m.view)
+	w.U64(m.lastAcceptedView)
+	w.U64(m.lc)
+	w.U64(m.commitIdx)
+	w.U64(m.logBase)
+	w.U32(uint32(len(m.log)))
+	for i := range m.log {
+		e := &m.log[i]
+		encodeMsgID(w, e.id)
+		w.U64(uint64(e.ts))
+		encodeDst(w, e.dst)
+		w.Bytes(e.payload)
+	}
+	w.U32(uint32(len(m.pending)))
+	for i := range m.pending {
+		p := &m.pending[i]
+		encodeMsgID(w, p.msg.id)
+		encodeDst(w, p.msg.dst)
+		w.Bytes(p.msg.payload)
+		w.U64(uint64(p.ownProp))
+		w.U32(uint32(len(p.props)))
+		for g, ts := range p.props {
+			w.U8(uint8(g))
+			w.U64(uint64(ts))
+		}
+	}
+	return w.Finish()
+}
+
+func decodeViewState(r *wire.Reader) *viewState {
+	m := &viewState{
+		view:             r.U64(),
+		lastAcceptedView: r.U64(),
+		lc:               r.U64(),
+		commitIdx:        r.U64(),
+		logBase:          r.U64(),
+	}
+	nLog := int(r.U32())
+	for i := 0; i < nLog && r.Err() == nil; i++ {
+		m.log = append(m.log, logEntry{
+			id:      decodeMsgID(r),
+			ts:      Timestamp(r.U64()),
+			dst:     decodeDst(r),
+			payload: r.Bytes(),
+		})
+	}
+	nPend := int(r.U32())
+	for i := 0; i < nPend && r.Err() == nil; i++ {
+		p := pendingState{
+			msg:     clientMsg{id: decodeMsgID(r), dst: decodeDst(r), payload: r.Bytes()},
+			ownProp: Timestamp(r.U64()),
+			props:   make(map[GroupID]Timestamp),
+		}
+		nProps := int(r.U32())
+		for j := 0; j < nProps && r.Err() == nil; j++ {
+			g := GroupID(r.U8())
+			p.props[g] = Timestamp(r.U64())
+		}
+		m.pending = append(m.pending, p)
+	}
+	return m
+}
+
+func encodeMsgID(w *wire.Writer, id MsgID) {
+	w.U64(uint64(id.Node))
+	w.U64(id.Seq)
+}
+
+func decodeMsgID(r *wire.Reader) MsgID {
+	return MsgID{Node: rdma.NodeID(r.U64()), Seq: r.U64()}
+}
+
+func encodeDst(w *wire.Writer, dst []GroupID) {
+	w.U8(uint8(len(dst)))
+	for _, g := range dst {
+		w.U8(uint8(g))
+	}
+}
+
+func decodeDst(r *wire.Reader) []GroupID {
+	n := int(r.U8())
+	dst := make([]GroupID, 0, n)
+	for i := 0; i < n; i++ {
+		dst = append(dst, GroupID(r.U8()))
+	}
+	return dst
+}
+
+// decodeKind splits the kind byte off a datagram.
+func decodeKind(b []byte) (uint8, *wire.Reader, error) {
+	if len(b) == 0 {
+		return 0, nil, fmt.Errorf("multicast: empty datagram")
+	}
+	return b[0], wire.NewReader(b[1:]), nil
+}

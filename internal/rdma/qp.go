@@ -1,0 +1,229 @@
+package rdma
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"heron/internal/sim"
+)
+
+// QP is a reliable-connection queue pair between two nodes. All one-sided
+// verbs are issued through a QP, as with RC transport on real hardware.
+// A QP is directional for clarity (local -> remote); create one per peer.
+type QP struct {
+	local  *Node
+	remote *Node
+	cfg    *Config
+	sched  *sim.Scheduler
+}
+
+// Connect creates a queue pair from node a to node b. Both nodes must
+// exist on the fabric; Connect panics otherwise (static wiring error).
+func (f *Fabric) Connect(a, b NodeID) *QP {
+	la, lb := f.nodes[a], f.nodes[b]
+	if la == nil || lb == nil {
+		panic(fmt.Sprintf("rdma: connect %d->%d: unknown node", a, b))
+	}
+	return &QP{local: la, remote: lb, cfg: &f.cfg, sched: f.sched}
+}
+
+// Local returns the issuing node.
+func (q *QP) Local() *Node { return q.local }
+
+// Remote returns the target node.
+func (q *QP) Remote() *Node { return q.remote }
+
+// region resolves an address against the remote node.
+func (q *QP) region(addr Addr, length int) (*Region, error) {
+	r := q.remote.regions[addr.Key]
+	if r == nil {
+		return nil, fmt.Errorf("%w: %v", ErrNoSuchRegion, addr)
+	}
+	if addr.Off < 0 || length < 0 || addr.Off+length > len(r.buf) {
+		return nil, fmt.Errorf("%w: %v len %d (region %d)", ErrOutOfBounds, addr, length, len(r.buf))
+	}
+	return r, nil
+}
+
+// completionTime computes when a verb of the given payload size completes,
+// charging occupancy on both NICs and the base verb latency.
+func (q *QP) completionTime(base sim.Duration, size int) sim.Time {
+	now := q.sched.Now()
+	start := q.local.nic.admit(now, q.cfg, size)
+	start = q.remote.nic.admit(start, q.cfg, size)
+	return start + sim.Time(base) + sim.Time(float64(size)/q.cfg.BytesPerNS)
+}
+
+// failRemote blocks the issuer for the failure timeout and returns the
+// RDMA exception, modeling RC retransmission exhaustion.
+func (q *QP) failRemote(p *sim.Proc) error {
+	p.Sleep(q.cfg.FailureTimeout)
+	return fmt.Errorf("%w: node %d", ErrRemoteFailure, q.remote.id)
+}
+
+// checkLocal returns an error if the issuing node has crashed.
+func (q *QP) checkLocal() error {
+	if q.local.crashed {
+		return fmt.Errorf("%w: node %d", ErrLocalFailure, q.local.id)
+	}
+	return nil
+}
+
+// Read performs a one-sided READ of length bytes at addr. The returned
+// slice is a copy of the target memory as of the completion instant; the
+// target CPU is not involved. On a crashed target it returns
+// ErrRemoteFailure after the failure timeout.
+func (q *QP) Read(p *sim.Proc, addr Addr, length int) ([]byte, error) {
+	if err := q.checkLocal(); err != nil {
+		return nil, err
+	}
+	if q.remote.crashed {
+		return nil, q.failRemote(p)
+	}
+	reg, err := q.region(addr, length)
+	if err != nil {
+		return nil, err
+	}
+	done := q.completionTime(q.cfg.ReadBase, length)
+	// Snapshot at completion: commit event runs before the wake event
+	// scheduled below (same instant, lower sequence number).
+	buf := make([]byte, length)
+	failed := false
+	q.sched.At(done, func() {
+		if q.remote.crashed {
+			failed = true
+			return
+		}
+		copy(buf, reg.buf[addr.Off:addr.Off+length])
+	})
+	p.Sleep(sim.Duration(done - p.Now()))
+	if failed {
+		// Crash raced the DMA: surface the exception as a late timeout.
+		return nil, q.failRemote(p)
+	}
+	return buf, nil
+}
+
+// Write performs a one-sided WRITE of data at addr and blocks until the
+// issuer's completion (under RC, when the payload is placed in target
+// memory). The target CPU is not involved.
+func (q *QP) Write(p *sim.Proc, addr Addr, data []byte) error {
+	if err := q.checkLocal(); err != nil {
+		return err
+	}
+	if q.remote.crashed {
+		return q.failRemote(p)
+	}
+	done, err := q.post(addr, data)
+	if err != nil {
+		return err
+	}
+	p.Sleep(sim.Duration(done - p.Now()))
+	if q.remote.crashed {
+		return q.failRemote(p)
+	}
+	return nil
+}
+
+// PostWrite posts a one-sided WRITE without waiting for completion; the
+// issuer is charged only the CPU posting overhead. The payload becomes
+// visible in target memory after the usual write latency. Errors at the
+// target (crash mid-flight) are silent, as with unsignaled verbs.
+func (q *QP) PostWrite(p *sim.Proc, addr Addr, data []byte) error {
+	if err := q.checkLocal(); err != nil {
+		return err
+	}
+	if q.remote.crashed {
+		// Posting succeeds on real hardware; the completion error is
+		// asynchronous. Model as a silently dropped write.
+		p.Sleep(q.cfg.PostOverhead)
+		return nil
+	}
+	if _, err := q.post(addr, data); err != nil {
+		return err
+	}
+	p.Sleep(q.cfg.PostOverhead)
+	return nil
+}
+
+// post validates the target and schedules the payload commit event,
+// returning the commit instant.
+func (q *QP) post(addr Addr, data []byte) (sim.Time, error) {
+	reg, err := q.region(addr, len(data))
+	if err != nil {
+		return 0, err
+	}
+	done := q.completionTime(q.cfg.WriteBase, len(data))
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	q.sched.At(done, func() {
+		if q.remote.crashed {
+			return
+		}
+		copy(reg.buf[addr.Off:addr.Off+len(buf)], buf)
+		q.remote.writeNotify.Broadcast()
+	})
+	return done, nil
+}
+
+// CompareAndSwap performs an atomic 8-byte compare-and-swap at addr
+// (little-endian). It returns the previous value; the swap happened iff
+// the returned value equals expect.
+func (q *QP) CompareAndSwap(p *sim.Proc, addr Addr, expect, swap uint64) (uint64, error) {
+	if err := q.checkLocal(); err != nil {
+		return 0, err
+	}
+	if q.remote.crashed {
+		return 0, q.failRemote(p)
+	}
+	reg, err := q.region(addr, 8)
+	if err != nil {
+		return 0, err
+	}
+	if addr.Off%8 != 0 {
+		return 0, fmt.Errorf("%w: %v", ErrCASMisaligned, addr)
+	}
+	done := q.completionTime(q.cfg.CASBase, 8)
+	var prev uint64
+	failed := false
+	q.sched.At(done, func() {
+		if q.remote.crashed {
+			failed = true
+			return
+		}
+		word := reg.buf[addr.Off : addr.Off+8]
+		prev = binary.LittleEndian.Uint64(word)
+		if prev == expect {
+			binary.LittleEndian.PutUint64(word, swap)
+			q.remote.writeNotify.Broadcast()
+		}
+	})
+	p.Sleep(sim.Duration(done - p.Now()))
+	if failed {
+		return 0, q.failRemote(p)
+	}
+	return prev, nil
+}
+
+// Send performs a two-sided SEND of payload to the remote node's inbox.
+// Unlike one-sided verbs, delivery involves the remote CPU: the payload
+// is handed to the receive queue after SendBase latency and must be
+// drained by a process on the remote node.
+func (q *QP) Send(p *sim.Proc, payload any) error {
+	if err := q.checkLocal(); err != nil {
+		return err
+	}
+	if q.remote.crashed {
+		p.Sleep(q.cfg.PostOverhead)
+		return nil // silently dropped, like an unacked datagram
+	}
+	done := q.completionTime(q.cfg.SendBase, 64)
+	msg := Message{From: q.local.id, Payload: payload}
+	q.sched.At(done, func() {
+		if !q.remote.crashed {
+			q.remote.inbox.Send(msg)
+		}
+	})
+	p.Sleep(q.cfg.PostOverhead)
+	return nil
+}

@@ -1,0 +1,153 @@
+package rdma
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"heron/internal/sim"
+)
+
+// Transport multiplexes Mailbox rings into a node-to-node datagram
+// service: every ordered node pair gets a lazily created SPSC ring, and a
+// receiving endpoint drains all of its rings in arrival order. Payloads
+// are prefixed with the sender's node id so receivers can demultiplex.
+//
+// All traffic rides one-sided writes (see Mailbox); the remote CPU is
+// involved only when the endpoint's owning process drains its rings,
+// which models RamCast's and Heron's polling loops.
+type Transport struct {
+	fabric  *Fabric
+	ringCap int
+	writers map[[2]NodeID]*MailboxWriter
+	points  map[NodeID]*Endpoint
+}
+
+// NewTransport creates a transport over the fabric with the given ring
+// capacity per node pair.
+func NewTransport(f *Fabric, ringCap int) *Transport {
+	return &Transport{
+		fabric:  f,
+		ringCap: ringCap,
+		writers: make(map[[2]NodeID]*MailboxWriter),
+		points:  make(map[NodeID]*Endpoint),
+	}
+}
+
+// Endpoint is the receiving half of a Transport on one node.
+type Endpoint struct {
+	t     *Transport
+	node  *Node
+	boxes []*Mailbox
+	from  []NodeID
+	next  int // round-robin cursor for fairness across rings
+}
+
+// Fabric returns the underlying fabric.
+func (t *Transport) Fabric() *Fabric { return t.fabric }
+
+// Endpoint returns (creating on first use) the receive endpoint for node
+// id. The node must exist on the fabric.
+func (t *Transport) Endpoint(id NodeID) *Endpoint {
+	if ep, ok := t.points[id]; ok {
+		return ep
+	}
+	n := t.fabric.Node(id)
+	if n == nil {
+		panic(fmt.Sprintf("rdma: transport endpoint for unknown node %d", id))
+	}
+	ep := &Endpoint{t: t, node: n}
+	t.points[id] = ep
+	return ep
+}
+
+// writer returns (creating on first use) the ring from node a to node b.
+func (t *Transport) writer(a, b NodeID) *MailboxWriter {
+	key := [2]NodeID{a, b}
+	if w, ok := t.writers[key]; ok {
+		return w
+	}
+	ep := t.Endpoint(b)
+	mb := NewMailbox(ep.node, t.ringCap)
+	w := mb.Connect(t.fabric, a)
+	ep.boxes = append(ep.boxes, mb)
+	ep.from = append(ep.from, a)
+	t.writers[key] = w
+	return w
+}
+
+// Send transmits payload from node `from` to node `to`. It blocks only on
+// ring backpressure. Sends to crashed nodes are silently dropped (the
+// payload lands in memory nobody drains), matching unsignaled RDMA writes.
+func (t *Transport) Send(p *sim.Proc, from, to NodeID, payload []byte) error {
+	w := t.writer(from, to)
+	buf := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint64(buf[:8], uint64(from))
+	copy(buf[8:], payload)
+	return w.Send(p, buf)
+}
+
+// TryRecv returns the next datagram across all rings, or ok=false.
+// Rings are drained round-robin so a chatty peer cannot starve others.
+func (e *Endpoint) TryRecv(p *sim.Proc) (payload []byte, from NodeID, ok bool) {
+	n := len(e.boxes)
+	for i := 0; i < n; i++ {
+		idx := (e.next + i) % n
+		if rec, got := e.boxes[idx].TryRecv(p); got {
+			e.next = (idx + 1) % n
+			return rec[8:], NodeID(binary.LittleEndian.Uint64(rec[:8])), true
+		}
+	}
+	return nil, 0, false
+}
+
+// Recv blocks until a datagram arrives on any ring.
+func (e *Endpoint) Recv(p *sim.Proc) ([]byte, NodeID, error) {
+	for {
+		if pl, from, ok := e.TryRecv(p); ok {
+			return pl, from, nil
+		}
+		if e.node.crashed {
+			return nil, 0, fmt.Errorf("%w: node %d", ErrLocalFailure, e.node.id)
+		}
+		e.node.writeNotify.Wait(p)
+	}
+}
+
+// RecvTimeout is like Recv but gives up after d, returning ok=false. Rings
+// created after the wait began are still observed, because all remote
+// writes into the node broadcast the same notification condition.
+func (e *Endpoint) RecvTimeout(p *sim.Proc, d sim.Duration) (payload []byte, from NodeID, ok bool) {
+	deadline := p.Now() + sim.Time(d)
+	for {
+		if pl, f, got := e.TryRecv(p); got {
+			return pl, f, true
+		}
+		if e.node.crashed {
+			return nil, 0, false
+		}
+		remaining := sim.Duration(deadline - p.Now())
+		if remaining <= 0 {
+			return nil, 0, false
+		}
+		if !e.node.writeNotify.WaitTimeout(p, remaining) {
+			// Timed out; loop once more to drain anything that raced in.
+			if pl, f, got := e.TryRecv(p); got {
+				return pl, f, true
+			}
+			return nil, 0, false
+		}
+	}
+}
+
+// Pending reports whether any ring has a datagram ready.
+func (e *Endpoint) Pending() bool {
+	for _, mb := range e.boxes {
+		if mb.Pending() {
+			return true
+		}
+	}
+	return false
+}
+
+// Node returns the endpoint's node.
+func (e *Endpoint) Node() *Node { return e.node }

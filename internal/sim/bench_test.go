@@ -1,0 +1,56 @@
+package sim
+
+import "testing"
+
+// BenchmarkEventThroughput measures raw event scheduling + dispatch.
+func BenchmarkEventThroughput(b *testing.B) {
+	s := NewScheduler()
+	n := 0
+	var chain func()
+	chain = func() {
+		n++
+		if n < b.N {
+			s.After(Microsecond, chain)
+		}
+	}
+	s.After(Microsecond, chain)
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkProcSwitch measures process context-switch cost (sleep/wake).
+func BenchmarkProcSwitch(b *testing.B) {
+	s := NewScheduler()
+	s.Spawn("switcher", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(Microsecond)
+		}
+	})
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkCondBroadcast measures wait/broadcast pairs.
+func BenchmarkCondBroadcast(b *testing.B) {
+	s := NewScheduler()
+	c := NewCond(s)
+	s.Spawn("waiter", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			c.Wait(p)
+		}
+	})
+	s.Spawn("signaler", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(Microsecond)
+			c.Broadcast()
+		}
+	})
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,77 @@
+package sim
+
+// Chan is an unbounded FIFO queue usable from processes in virtual time.
+// Send never blocks; Recv blocks the calling process until an element is
+// available. It is the building block for mailbox-style communication in
+// the simulated message-passing network and for control-plane queues.
+type Chan[T any] struct {
+	buf    []T
+	nonEmp *Cond
+	closed bool
+}
+
+// NewChan returns an empty queue bound to s.
+func NewChan[T any](s *Scheduler) *Chan[T] {
+	return &Chan[T]{nonEmp: NewCond(s)}
+}
+
+// Send enqueues v. It may be called from process bodies or plain events.
+func (c *Chan[T]) Send(v T) {
+	if c.closed {
+		return
+	}
+	c.buf = append(c.buf, v)
+	c.nonEmp.Broadcast()
+}
+
+// Recv dequeues the oldest element, blocking the calling process until one
+// is available. The second result is false if the channel was closed and
+// drained.
+func (c *Chan[T]) Recv(p *Proc) (T, bool) {
+	for len(c.buf) == 0 {
+		if c.closed {
+			var zero T
+			return zero, false
+		}
+		c.nonEmp.Wait(p)
+	}
+	v := c.buf[0]
+	c.buf = c.buf[1:]
+	return v, true
+}
+
+// RecvTimeout is like Recv but gives up after d, returning ok=false.
+func (c *Chan[T]) RecvTimeout(p *Proc, d Duration) (T, bool) {
+	ok := c.nonEmp.WaitUntilTimeout(p, d, func() bool { return len(c.buf) > 0 || c.closed })
+	if !ok || len(c.buf) == 0 {
+		var zero T
+		return zero, false
+	}
+	v := c.buf[0]
+	c.buf = c.buf[1:]
+	return v, true
+}
+
+// TryRecv dequeues without blocking; ok=false when empty.
+func (c *Chan[T]) TryRecv() (T, bool) {
+	if len(c.buf) == 0 {
+		var zero T
+		return zero, false
+	}
+	v := c.buf[0]
+	c.buf = c.buf[1:]
+	return v, true
+}
+
+// Len returns the number of queued elements.
+func (c *Chan[T]) Len() int { return len(c.buf) }
+
+// Close marks the channel closed; blocked receivers drain remaining
+// elements and then observe ok=false.
+func (c *Chan[T]) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.nonEmp.Broadcast()
+}

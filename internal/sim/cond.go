@@ -1,0 +1,98 @@
+package sim
+
+// Cond is a virtual-time condition variable. Processes block on it with
+// Wait or WaitTimeout and are released by Broadcast. Unlike sync.Cond
+// there is no associated lock: the simulation is single-threaded, so
+// predicates re-checked after a wakeup cannot race.
+type Cond struct {
+	s       *Scheduler
+	waiters []*condWaiter
+}
+
+type condWaiter struct {
+	p *Proc
+	// active distinguishes a live waiter from one already released (by
+	// broadcast or timeout); stale timer events check it before acting.
+	active   bool
+	timedOut bool
+}
+
+// NewCond returns a condition variable bound to s.
+func NewCond(s *Scheduler) *Cond { return &Cond{s: s} }
+
+// Wait blocks the calling process until the next Broadcast.
+func (c *Cond) Wait(p *Proc) {
+	w := &condWaiter{p: p, active: true}
+	c.waiters = append(c.waiters, w)
+	p.doYield()
+}
+
+// WaitTimeout blocks the calling process until the next Broadcast or until
+// d elapses. It reports true if the process was woken by Broadcast and
+// false on timeout.
+func (c *Cond) WaitTimeout(p *Proc, d Duration) bool {
+	w := &condWaiter{p: p, active: true}
+	c.waiters = append(c.waiters, w)
+	c.s.After(d, func() {
+		if !w.active {
+			return
+		}
+		w.active = false
+		w.timedOut = true
+		c.remove(w)
+		c.s.step(p)
+	})
+	p.doYield()
+	return !w.timedOut
+}
+
+// Broadcast releases every currently blocked waiter. Waiters resume at the
+// current virtual time, in the order they started waiting, after the
+// currently running event completes.
+func (c *Cond) Broadcast() {
+	waiters := c.waiters
+	c.waiters = nil
+	for _, w := range waiters {
+		if !w.active {
+			continue
+		}
+		w.active = false
+		w := w
+		c.s.At(c.s.now, func() { c.s.step(w.p) })
+	}
+}
+
+// remove drops w from the waiter list.
+func (c *Cond) remove(w *condWaiter) {
+	for i, x := range c.waiters {
+		if x == w {
+			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// WaitUntil blocks p until pred() is true, re-evaluating after every
+// Broadcast on c. If pred is already true it returns immediately without
+// yielding.
+func (c *Cond) WaitUntil(p *Proc, pred func() bool) {
+	for !pred() {
+		c.Wait(p)
+	}
+}
+
+// WaitUntilTimeout blocks p until pred() is true or until d of virtual
+// time has elapsed in total. It reports whether pred became true.
+func (c *Cond) WaitUntilTimeout(p *Proc, d Duration, pred func() bool) bool {
+	deadline := c.s.now + Time(d)
+	for !pred() {
+		remaining := Duration(deadline - c.s.now)
+		if remaining <= 0 {
+			return pred()
+		}
+		if !c.WaitTimeout(p, remaining) {
+			return pred()
+		}
+	}
+	return true
+}

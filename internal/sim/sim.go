@@ -1,0 +1,312 @@
+// Package sim implements a deterministic discrete-event simulation kernel.
+//
+// All Heron protocol logic runs as cooperative processes (Proc) scheduled
+// over a virtual clock. Exactly one process executes at a time; control is
+// handed between the scheduler goroutine and process goroutines through a
+// strict handshake, so executions are fully deterministic for a given
+// sequence of Spawn/After calls. Virtual time is advanced only by the event
+// queue: a process gives up the CPU by sleeping, waiting on a Cond, or
+// exiting, never by blocking on real OS primitives.
+//
+// The kernel is intentionally small: events, processes, condition
+// variables, and deadlock detection. Higher-level communication (RDMA
+// fabric, message-passing network) is layered on top in other packages.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Time is an absolute virtual-clock instant in nanoseconds since the start
+// of the simulation.
+type Time int64
+
+// Duration re-exports time.Duration for virtual delays, so call sites read
+// naturally (e.g. 2*sim.Microsecond).
+type Duration = time.Duration
+
+// Convenience duration units for call sites.
+const (
+	Nanosecond  = time.Nanosecond
+	Microsecond = time.Microsecond
+	Millisecond = time.Millisecond
+	Second      = time.Second
+)
+
+// ErrDeadlock is returned by Run when the event queue drains while
+// processes are still blocked: no event can ever wake them again.
+var ErrDeadlock = errors.New("sim: deadlock: no pending events but processes are blocked")
+
+// event is a scheduled closure. Events with equal time run in the order
+// they were scheduled (seq breaks ties), which keeps runs deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Scheduler owns the virtual clock and the event queue, and arbitrates
+// which process runs. The zero value is not usable; call NewScheduler.
+type Scheduler struct {
+	now      Time
+	events   eventHeap
+	seq      uint64
+	procs    map[*Proc]struct{}
+	running  bool
+	fatalErr error
+
+	// eventCount counts executed events, for the runaway guard.
+	eventCount uint64
+	// MaxEvents aborts Run with an error after this many events when
+	// non-zero. It is a backstop against accidental infinite event loops
+	// in tests.
+	MaxEvents uint64
+}
+
+// NewScheduler returns an empty scheduler with the clock at zero.
+func NewScheduler() *Scheduler {
+	return &Scheduler{procs: make(map[*Proc]struct{})}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// At schedules fn to run at absolute time at. Scheduling in the past is an
+// error in the caller; the event is clamped to the current time so that
+// causality is never violated.
+func (s *Scheduler) At(at Time, fn func()) {
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	heap.Push(&s.events, &event{at: at, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d from now. Negative delays are clamped to 0.
+func (s *Scheduler) After(d Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.At(s.now+Time(d), fn)
+}
+
+// procState tracks where a process is in its lifecycle.
+type procState int
+
+const (
+	procNew procState = iota + 1
+	procRunnable
+	procRunning
+	procBlocked
+	procDone
+)
+
+// Proc is a cooperative process. A Proc's body runs on its own goroutine
+// but only while the scheduler has handed it control; it must yield by
+// calling Sleep, a Cond wait, or returning. All Proc methods must be
+// called from the process's own body (they are not safe for use from
+// other goroutines or from plain events).
+type Proc struct {
+	s     *Scheduler
+	name  string
+	state procState
+
+	resume chan struct{} // scheduler -> proc: you have the CPU
+	yield  chan struct{} // proc -> scheduler: I gave it back
+
+	// killed requests the proc to stop at its next yield point.
+	killed bool
+}
+
+// Name returns the process's diagnostic name.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.s.now }
+
+// Scheduler returns the scheduler this process runs on.
+func (p *Proc) Scheduler() *Scheduler { return p.s }
+
+// killedErr is the panic payload used to unwind a killed process.
+type killedErr struct{ name string }
+
+func (k killedErr) Error() string { return fmt.Sprintf("sim: proc %q killed", k.name) }
+
+// Spawn creates a process that starts at the current virtual time. The
+// body runs the first time the scheduler reaches the start event.
+func (s *Scheduler) Spawn(name string, body func(p *Proc)) *Proc {
+	return s.SpawnAfter(0, name, body)
+}
+
+// SpawnAfter creates a process whose body starts d from now.
+func (s *Scheduler) SpawnAfter(d Duration, name string, body func(p *Proc)) *Proc {
+	p := &Proc{
+		s:      s,
+		name:   name,
+		state:  procNew,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+	s.procs[p] = struct{}{}
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(killedErr); !ok {
+					if s.fatalErr == nil {
+						s.fatalErr = fmt.Errorf("sim: proc %q panicked: %v", p.name, r)
+					}
+				}
+			}
+			p.state = procDone
+			delete(s.procs, p)
+			p.yield <- struct{}{}
+		}()
+		if p.killed {
+			panic(killedErr{p.name})
+		}
+		body(p)
+	}()
+	s.After(d, func() { s.step(p) })
+	return p
+}
+
+// step hands the CPU to p and blocks the scheduler until p yields it back.
+func (s *Scheduler) step(p *Proc) {
+	if p.state == procDone {
+		return
+	}
+	p.state = procRunning
+	p.resume <- struct{}{}
+	<-p.yield
+}
+
+// doYield parks the calling process and returns control to the scheduler.
+// The caller must already have arranged for a future resume (a timer event
+// or a Cond waiter registration), otherwise the process deadlocks.
+func (p *Proc) doYield() {
+	p.state = procBlocked
+	p.yield <- struct{}{}
+	<-p.resume
+	p.state = procRunning
+	if p.killed {
+		panic(killedErr{p.name})
+	}
+}
+
+// Sleep suspends the process for d of virtual time.
+func (p *Proc) Sleep(d Duration) {
+	p.s.After(d, func() { p.s.step(p) })
+	p.doYield()
+}
+
+// Yield gives other events scheduled at the current instant a chance to
+// run, then resumes. Equivalent to Sleep(0).
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Kill requests the process to terminate. The process unwinds (via panic
+// with a recovered sentinel) the next time it would resume from a yield
+// point. Killing an already-finished process is a no-op. Kill is intended
+// for failure injection in tests and experiments.
+func (p *Proc) Kill() {
+	if p.state == procDone {
+		return
+	}
+	p.killed = true
+	if p.state == procBlocked || p.state == procNew {
+		// Wake it up so it can unwind. Waking a Cond waiter twice is
+		// harmless: the second resume finds the proc done and is a no-op.
+		p.s.At(p.s.now, func() { p.s.step(p) })
+	}
+}
+
+// Killed reports whether Kill has been requested for this process.
+func (p *Proc) Killed() bool { return p.killed }
+
+// Run executes events until the queue drains or until an error occurs. It
+// returns ErrDeadlock (wrapped with the blocked process names) if
+// processes remain blocked with no pending events, and the first process
+// panic if any process panicked.
+func (s *Scheduler) Run() error {
+	return s.RunUntil(Time(1<<62 - 1))
+}
+
+// RunUntil executes events with timestamps <= deadline. The clock is left
+// at the last executed event's time (or at deadline if the queue emptied
+// earlier than deadline but events remain in the future — the clock does
+// not jump past pending events).
+func (s *Scheduler) RunUntil(deadline Time) error {
+	if s.running {
+		return errors.New("sim: Run called re-entrantly")
+	}
+	s.running = true
+	defer func() { s.running = false }()
+
+	for len(s.events) > 0 {
+		if s.fatalErr != nil {
+			return s.fatalErr
+		}
+		next := s.events[0]
+		if next.at > deadline {
+			return nil
+		}
+		heap.Pop(&s.events)
+		s.now = next.at
+		s.eventCount++
+		if s.MaxEvents != 0 && s.eventCount > s.MaxEvents {
+			return fmt.Errorf("sim: exceeded MaxEvents=%d at t=%v", s.MaxEvents, s.now)
+		}
+		next.fn()
+	}
+	if s.fatalErr != nil {
+		return s.fatalErr
+	}
+	if n := s.blockedProcs(); len(n) > 0 {
+		return fmt.Errorf("%w: %v", ErrDeadlock, n)
+	}
+	return nil
+}
+
+// blockedProcs returns the names of processes that can never run again
+// because the event queue is empty.
+func (s *Scheduler) blockedProcs() []string {
+	var names []string
+	for p := range s.procs {
+		if p.state == procBlocked {
+			names = append(names, p.name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// LiveProcs returns the number of processes that have been spawned and
+// have not yet finished.
+func (s *Scheduler) LiveProcs() int { return len(s.procs) }
+
+// EventCount returns the number of events executed so far.
+func (s *Scheduler) EventCount() uint64 { return s.eventCount }

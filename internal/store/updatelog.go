@@ -1,0 +1,64 @@
+package store
+
+import "sort"
+
+// UpdateLog records which objects each request updated, in timestamp
+// order. State transfer uses it to bound the set of slots that must be
+// synchronized to a lagger (Algorithm 3, log.get_objects).
+type UpdateLog struct {
+	entries []logRecord
+}
+
+type logRecord struct {
+	tmp uint64
+	oid OID
+}
+
+// NewUpdateLog returns an empty log.
+func NewUpdateLog() *UpdateLog { return &UpdateLog{} }
+
+// Append records that the request with timestamp tmp updated oid.
+// Timestamps arrive in nondecreasing order because replicas execute
+// requests sequentially in delivery order.
+func (l *UpdateLog) Append(tmp uint64, oid OID) {
+	l.entries = append(l.entries, logRecord{tmp: tmp, oid: oid})
+}
+
+// ObjectsBetween returns the distinct objects updated by requests with
+// fromTmp <= tmp <= toTmp, in first-update order.
+func (l *UpdateLog) ObjectsBetween(fromTmp, toTmp uint64) []OID {
+	lo := sort.Search(len(l.entries), func(i int) bool { return l.entries[i].tmp >= fromTmp })
+	seen := make(map[OID]bool)
+	var out []OID
+	for i := lo; i < len(l.entries) && l.entries[i].tmp <= toTmp; i++ {
+		oid := l.entries[i].oid
+		if !seen[oid] {
+			seen[oid] = true
+			out = append(out, oid)
+		}
+	}
+	return out
+}
+
+// Truncate drops records with tmp < beforeTmp, bounding memory for
+// long-running replicas. State transfer for requests older than the
+// truncation point falls back to full-state synchronization.
+func (l *UpdateLog) Truncate(beforeTmp uint64) {
+	lo := sort.Search(len(l.entries), func(i int) bool { return l.entries[i].tmp >= beforeTmp })
+	if lo == 0 {
+		return
+	}
+	l.entries = append([]logRecord(nil), l.entries[lo:]...)
+}
+
+// OldestTmp returns the smallest timestamp still in the log, or 0 when
+// the log is empty.
+func (l *UpdateLog) OldestTmp() uint64 {
+	if len(l.entries) == 0 {
+		return 0
+	}
+	return l.entries[0].tmp
+}
+
+// Len returns the number of records.
+func (l *UpdateLog) Len() int { return len(l.entries) }

@@ -1,0 +1,521 @@
+package tpcc
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"heron/internal/core"
+	"heron/internal/sim"
+	"heron/internal/store"
+)
+
+// CostModel charges the modeled CPU time of transaction logic and manual
+// (de)serialization, calibrated so a single-partition New-Order executes
+// in the mid-teens of microseconds as in the paper (Fig. 6: ~16 us
+// execution).
+type CostModel struct {
+	TxnBase    sim.Duration // request decode + bookkeeping
+	StockDeser sim.Duration // deserialize one stock row
+	StockSer   sim.Duration // serialize one stock row
+	CustDeser  sim.Duration // deserialize one customer row (larger)
+	CustSer    sim.Duration
+	AuxInsert  sim.Duration // insert into a warehouse-local map table
+	AuxLookup  sim.Duration
+	ItemLookup sim.Duration
+}
+
+// DefaultCostModel returns the calibrated cost model.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		TxnBase:    1500 * sim.Nanosecond,
+		StockDeser: 260 * sim.Nanosecond,
+		StockSer:   300 * sim.Nanosecond,
+		CustDeser:  520 * sim.Nanosecond,
+		CustSer:    600 * sim.Nanosecond,
+		AuxInsert:  130 * sim.Nanosecond,
+		AuxLookup:  70 * sim.Nanosecond,
+		ItemLookup: 60 * sim.Nanosecond,
+	}
+}
+
+type orderKey struct{ did, oid int32 }
+type custKey struct{ did, cid int32 }
+
+// App is the per-replica TPCC application. Each partition hosts one
+// warehouse; the replicated read-only tables (Item, Warehouse) are shared
+// across all instances through the Dataset.
+type App struct {
+	part core.PartitionID
+	wid  int32
+	ds   *Dataset
+	cost CostModel
+
+	// Warehouse-local tables (the paper's HashMap tables).
+	districts   map[int32]*District
+	orders      map[orderKey]*Order
+	orderLines  map[orderKey][]OrderLine
+	newOrders   map[int32][]int32 // district -> FIFO of undelivered order ids
+	history     []History
+	lastOrderOf map[custKey]int32
+
+	// cpu accumulates modeled time during one Execute call.
+	cpu sim.Duration
+
+	// singleExec enables DynaStar semantics: this instance executes the
+	// whole transaction and writes all updated objects, including rows
+	// owned by other warehouses.
+	singleExec bool
+}
+
+var _ core.Application = (*App)(nil)
+var _ core.AuxSyncer = (*App)(nil)
+
+// NewAppFactory returns a core.AppFactory producing TPCC app instances
+// over a shared dataset.
+func NewAppFactory(ds *Dataset, cost CostModel) core.AppFactory {
+	return func(part core.PartitionID, rank int) core.Application {
+		return NewApp(part, ds, cost)
+	}
+}
+
+// NewApp creates the application instance for one replica of `part`.
+func NewApp(part core.PartitionID, ds *Dataset, cost CostModel) *App {
+	return &App{
+		part:        part,
+		wid:         int32(part) + 1,
+		ds:          ds,
+		cost:        cost,
+		districts:   make(map[int32]*District),
+		orders:      make(map[orderKey]*Order),
+		orderLines:  make(map[orderKey][]OrderLine),
+		newOrders:   make(map[int32][]int32),
+		lastOrderOf: make(map[custKey]int32),
+	}
+}
+
+// Populate registers and initializes this warehouse's store objects and
+// builds the initial warehouse-local tables. Deterministic, so all
+// replicas of the partition start identical.
+func (a *App) Populate(st *store.Store) error {
+	wid := int(a.wid)
+	for iid := 1; iid <= a.ds.Scale.Items; iid++ {
+		oid := StockOID(wid, iid)
+		if err := st.Register(oid, StockMaxBytes); err != nil {
+			return err
+		}
+		if err := st.Init(oid, EncodeStock(a.ds.GenStock(wid, iid))); err != nil {
+			return err
+		}
+	}
+	for did := 1; did <= a.ds.Scale.DistrictsPerWH; did++ {
+		for cid := 1; cid <= a.ds.Scale.CustomersPerDistrict; cid++ {
+			oid := CustomerOID(wid, did, cid)
+			if err := st.Register(oid, CustomerMaxBytes); err != nil {
+				return err
+			}
+			if err := st.Init(oid, EncodeCustomer(a.ds.GenCustomer(wid, did, cid))); err != nil {
+				return err
+			}
+		}
+	}
+	a.PopulateAux()
+	return nil
+}
+
+// populateOrders primes Order/Order-Line/New-Order for one district: the
+// newest third of the initial orders is undelivered (clause 4.3.3.1 uses
+// the last 900 of 3000).
+func (a *App) populateOrders(did int32) {
+	n := a.ds.Scale.InitialOrders
+	undeliveredFrom := n - n/3 + 1
+	for o := 1; o <= n; o++ {
+		rng := rand.New(rand.NewSource(int64(a.wid)<<40 | int64(did)<<32 | int64(o)))
+		cid := int32((o-1)%a.ds.Scale.CustomersPerDistrict + 1)
+		ord := &Order{
+			ID:       int32(o),
+			DID:      did,
+			WID:      a.wid,
+			CID:      cid,
+			EntryD:   int64(o),
+			OLCnt:    int32(randRange(rng, 5, 15)),
+			AllLocal: true,
+		}
+		if o < undeliveredFrom {
+			ord.CarrierID = int32(randRange(rng, 1, 10))
+		}
+		key := orderKey{did: did, oid: int32(o)}
+		a.orders[key] = ord
+		lines := make([]OrderLine, ord.OLCnt)
+		for i := range lines {
+			lines[i] = OrderLine{
+				OID:       int32(o),
+				DID:       did,
+				WID:       a.wid,
+				Number:    int32(i + 1),
+				IID:       int32(randRange(rng, 1, a.ds.Scale.Items)),
+				SupplyWID: a.wid,
+				Quantity:  5,
+				DistInfo:  "initial",
+			}
+			if ord.CarrierID != 0 {
+				// Delivered initial orders carry zero amounts (clause
+				// 4.3.3.1), keeping customer balances consistent (C4).
+				lines[i].DeliveryD = ord.EntryD
+			} else {
+				lines[i].Amount = int64(randRange(rng, 1, 999999))
+			}
+		}
+		a.orderLines[key] = lines
+		a.lastOrderOf[custKey{did: did, cid: cid}] = int32(o)
+		if ord.CarrierID == 0 {
+			a.newOrders[did] = append(a.newOrders[did], int32(o))
+		}
+	}
+}
+
+// charge accumulates modeled CPU.
+func (a *App) charge(d sim.Duration, times int) { a.cpu += d * sim.Duration(times) }
+
+// ReadSet implements core.Application: the estimated objects THIS
+// partition reads for the request (partial execution — non-home
+// partitions of a New-Order only read their own stock rows).
+func (a *App) ReadSet(req *core.Request) []store.OID {
+	t, err := DecodeTxn(req.Payload)
+	if err != nil {
+		return nil
+	}
+	home := t.WID == a.wid
+	var oids []store.OID
+	switch t.Kind {
+	case TxnNewOrder:
+		for _, l := range t.Lines {
+			if home || l.SupplyWID == a.wid {
+				oids = append(oids, StockOID(int(l.SupplyWID), int(l.IID)))
+			}
+		}
+		if home {
+			oids = append(oids, CustomerOID(int(t.WID), int(t.DID), int(t.CID)))
+		}
+	case TxnPayment:
+		if t.CWID == a.wid {
+			oids = append(oids, CustomerOID(int(t.CWID), int(t.CDID), int(t.CID)))
+		}
+	case TxnOrderStatus:
+		oids = append(oids, CustomerOID(int(t.WID), int(t.DID), int(t.CID)))
+	case TxnDelivery, TxnStockLevel:
+		// Read sets depend on state; resolved with LocalGet during
+		// execution (always local).
+	}
+	return oids
+}
+
+// Execute implements core.Application.
+func (a *App) Execute(ctx *core.ExecContext) core.Outcome {
+	a.cpu = 0
+	a.charge(a.cost.TxnBase, 1)
+	t, err := DecodeTxn(ctx.Req.Payload)
+	if err != nil {
+		return core.Outcome{Response: []byte("ERR decode"), CPU: a.cpu}
+	}
+	var out core.Outcome
+	switch t.Kind {
+	case TxnNewOrder:
+		out = a.execNewOrder(ctx, t)
+	case TxnPayment:
+		out = a.execPayment(ctx, t)
+	case TxnOrderStatus:
+		out = a.execOrderStatus(ctx, t)
+	case TxnDelivery:
+		out = a.execDelivery(ctx, t)
+	case TxnStockLevel:
+		out = a.execStockLevel(ctx, t)
+	default:
+		out = core.Outcome{Response: []byte("ERR kind")}
+	}
+	out.CPU = a.cpu
+	return out
+}
+
+// execNewOrder: the home partition inserts the order and computes the
+// total; every involved partition updates its own stock rows.
+func (a *App) execNewOrder(ctx *core.ExecContext, t *Txn) core.Outcome {
+	home := t.WID == a.wid
+	var out core.Outcome
+
+	var oid int32
+	var total int64
+	if home {
+		d := a.districts[t.DID]
+		if d == nil {
+			return core.Outcome{Response: []byte("ERR district")}
+		}
+		a.charge(a.cost.AuxLookup, 1)
+		oid = d.NextOID
+		d.NextOID++
+
+		cust, err := DecodeCustomer(ctx.Values[CustomerOID(int(t.WID), int(t.DID), int(t.CID))])
+		a.charge(a.cost.CustDeser, 1)
+		if err != nil {
+			return core.Outcome{Response: []byte("ERR customer")}
+		}
+
+		allLocal := true
+		key := orderKey{did: t.DID, oid: oid}
+		lines := make([]OrderLine, 0, len(t.Lines))
+		for i, l := range t.Lines {
+			if l.SupplyWID != t.WID {
+				allLocal = false
+			}
+			item := &a.ds.Items[l.IID-1]
+			a.charge(a.cost.ItemLookup, 1)
+			stRaw := ctx.Values[StockOID(int(l.SupplyWID), int(l.IID))]
+			stock, serr := DecodeStock(stRaw)
+			a.charge(a.cost.StockDeser, 1)
+			if serr != nil {
+				return core.Outcome{Response: []byte("ERR stock")}
+			}
+			amount := int64(l.Quantity) * item.Price
+			total += amount
+			distIdx := int(t.DID) - 1
+			lines = append(lines, OrderLine{
+				OID:       oid,
+				DID:       t.DID,
+				WID:       t.WID,
+				Number:    int32(i + 1),
+				IID:       l.IID,
+				SupplyWID: l.SupplyWID,
+				Quantity:  l.Quantity,
+				Amount:    amount,
+				DistInfo:  stock.Dists[distIdx],
+			})
+			// The home partition writes only its own stock rows; remote
+			// rows are updated by their hosting partitions (unless this
+			// is the DynaStar single-executor mode).
+			if l.SupplyWID == a.wid || a.singleExec {
+				applyStockUpdate(stock, l, t.WID)
+				a.charge(a.cost.StockSer, 1)
+				out.Writes = append(out.Writes, core.Write{
+					OID: StockOID(int(l.SupplyWID), int(l.IID)),
+					Val: EncodeStock(stock),
+				})
+			}
+			a.charge(a.cost.AuxInsert, 1)
+		}
+		total = total * (10000 - cust.Discount) / 10000
+		total = total * (10000 + a.ds.WHs[t.WID-1].Tax + d.Tax) / 10000
+
+		a.orders[key] = &Order{
+			ID: oid, DID: t.DID, WID: t.WID, CID: t.CID,
+			EntryD: int64(ctx.Req.Ts), OLCnt: int32(len(lines)), AllLocal: allLocal,
+		}
+		a.orderLines[key] = lines
+		a.newOrders[t.DID] = append(a.newOrders[t.DID], oid)
+		a.lastOrderOf[custKey{did: t.DID, cid: t.CID}] = oid
+		a.charge(a.cost.AuxInsert, 3)
+	} else {
+		// Partial execution: update only this warehouse's stock rows.
+		for _, l := range t.Lines {
+			if l.SupplyWID != a.wid {
+				continue
+			}
+			soid := StockOID(int(l.SupplyWID), int(l.IID))
+			stock, serr := DecodeStock(ctx.Values[soid])
+			a.charge(a.cost.StockDeser, 1)
+			if serr != nil {
+				return core.Outcome{Response: []byte("ERR stock")}
+			}
+			applyStockUpdate(stock, l, t.WID)
+			a.charge(a.cost.StockSer, 1)
+			out.Writes = append(out.Writes, core.Write{OID: soid, Val: EncodeStock(stock)})
+		}
+	}
+
+	resp := make([]byte, 0, 16)
+	resp = append(resp, byte(oid), byte(oid>>8), byte(oid>>16), byte(oid>>24))
+	resp = append(resp, byte(total), byte(total>>8), byte(total>>16), byte(total>>24),
+		byte(total>>32), byte(total>>40), byte(total>>48), byte(total>>56))
+	out.Response = resp
+	return out
+}
+
+// applyStockUpdate implements clause 2.4.2.2's stock mutation.
+func applyStockUpdate(s *Stock, l OrderLineReq, homeWID int32) {
+	if s.Quantity-l.Quantity >= 10 {
+		s.Quantity -= l.Quantity
+	} else {
+		s.Quantity += 91 - l.Quantity
+	}
+	s.YTD += int64(l.Quantity)
+	s.OrderCnt++
+	if l.SupplyWID != homeWID {
+		s.RemoteCnt++
+	}
+}
+
+// execPayment: the home partition updates district YTD and appends
+// history; the customer's partition updates the customer row.
+func (a *App) execPayment(ctx *core.ExecContext, t *Txn) core.Outcome {
+	var out core.Outcome
+	var balance int64
+	if t.WID == a.wid {
+		d := a.districts[t.DID]
+		if d == nil {
+			return core.Outcome{Response: []byte("ERR district")}
+		}
+		d.YTD += t.Amount
+		a.history = append(a.history, History{
+			CID: t.CID, CDID: t.CDID, CWID: t.CWID,
+			DID: t.DID, WID: t.WID,
+			Date: int64(ctx.Req.Ts), Amount: t.Amount,
+			Data: d.Name,
+		})
+		a.charge(a.cost.AuxLookup, 1)
+		a.charge(a.cost.AuxInsert, 1)
+	}
+	if t.CWID == a.wid || (a.singleExec && t.WID == a.wid) {
+		coid := CustomerOID(int(t.CWID), int(t.CDID), int(t.CID))
+		cust, err := DecodeCustomer(ctx.Values[coid])
+		a.charge(a.cost.CustDeser, 1)
+		if err != nil {
+			return core.Outcome{Response: []byte("ERR customer")}
+		}
+		cust.Balance -= t.Amount
+		cust.YTDPayment += t.Amount
+		cust.PaymentCnt++
+		if cust.Credit == "BC" {
+			// Bad credit: prepend payment info to C_DATA, truncated.
+			info := fmt.Sprintf("%d %d %d %d %d %d|", t.CID, t.CDID, t.CWID, t.DID, t.WID, t.Amount)
+			data := info + cust.Data
+			if len(data) > 500 {
+				data = data[:500]
+			}
+			cust.Data = data
+		}
+		balance = cust.Balance
+		a.charge(a.cost.CustSer, 1)
+		out.Writes = append(out.Writes, core.Write{OID: coid, Val: EncodeCustomer(cust)})
+	}
+	out.Response = encodeI64(balance)
+	return out
+}
+
+// execOrderStatus: read-only, always local.
+func (a *App) execOrderStatus(ctx *core.ExecContext, t *Txn) core.Outcome {
+	cust, err := DecodeCustomer(ctx.Values[CustomerOID(int(t.WID), int(t.DID), int(t.CID))])
+	a.charge(a.cost.CustDeser, 1)
+	if err != nil {
+		return core.Outcome{Response: []byte("ERR customer")}
+	}
+	last, ok := a.lastOrderOf[custKey{did: t.DID, cid: t.CID}]
+	a.charge(a.cost.AuxLookup, 1)
+	var olCnt int32
+	if ok {
+		if ord := a.orders[orderKey{did: t.DID, oid: last}]; ord != nil {
+			olCnt = ord.OLCnt
+			a.charge(a.cost.AuxLookup, int(olCnt)+1)
+		}
+	}
+	resp := append(encodeI64(cust.Balance), byte(olCnt))
+	return core.Outcome{Response: resp}
+}
+
+// execDelivery: always local; delivers the oldest undelivered order of
+// every district, crediting each order's customer.
+func (a *App) execDelivery(ctx *core.ExecContext, t *Txn) core.Outcome {
+	var out core.Outcome
+	var delivered int
+	for did := int32(1); did <= int32(a.ds.Scale.DistrictsPerWH); did++ {
+		fifo := a.newOrders[did]
+		a.charge(a.cost.AuxLookup, 1)
+		if len(fifo) == 0 {
+			continue
+		}
+		oid := fifo[0]
+		a.newOrders[did] = fifo[1:]
+		key := orderKey{did: did, oid: oid}
+		ord := a.orders[key]
+		if ord == nil {
+			continue
+		}
+		ord.CarrierID = t.CarrierID
+		var sum int64
+		lines := a.orderLines[key]
+		for i := range lines {
+			lines[i].DeliveryD = int64(ctx.Req.Ts)
+			sum += lines[i].Amount
+		}
+		a.charge(a.cost.AuxLookup, len(lines)+2)
+
+		coid := CustomerOID(int(a.wid), int(did), int(ord.CID))
+		raw, ok := ctx.LocalGet(coid)
+		if !ok {
+			continue
+		}
+		cust, err := DecodeCustomer(raw)
+		a.charge(a.cost.CustDeser, 1)
+		if err != nil {
+			continue
+		}
+		cust.Balance += sum
+		cust.DeliveryCnt++
+		a.charge(a.cost.CustSer, 1)
+		out.Writes = append(out.Writes, core.Write{OID: coid, Val: EncodeCustomer(cust)})
+		delivered++
+	}
+	out.Response = []byte{byte(delivered)}
+	return out
+}
+
+// execStockLevel: always local and heavy — it deserializes the stock row
+// of every distinct item in the district's last 20 orders (the paper
+// calls out its cost; Fig. 7).
+func (a *App) execStockLevel(ctx *core.ExecContext, t *Txn) core.Outcome {
+	d := a.districts[t.DID]
+	if d == nil {
+		return core.Outcome{Response: []byte("ERR district")}
+	}
+	a.charge(a.cost.AuxLookup, 1)
+	seen := make(map[int32]bool)
+	lo := d.NextOID - 20
+	if lo < 1 {
+		lo = 1
+	}
+	for o := lo; o < d.NextOID; o++ {
+		for _, line := range a.orderLines[orderKey{did: t.DID, oid: o}] {
+			seen[line.IID] = true
+		}
+		a.charge(a.cost.AuxLookup, 1)
+	}
+	// Deterministic iteration order for reproducibility.
+	items := make([]int32, 0, len(seen))
+	for iid := range seen {
+		items = append(items, iid)
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+
+	var low int32
+	for _, iid := range items {
+		raw, ok := ctx.LocalGet(StockOID(int(a.wid), int(iid)))
+		if !ok {
+			continue
+		}
+		stock, err := DecodeStock(raw)
+		a.charge(a.cost.StockDeser, 1)
+		if err != nil {
+			continue
+		}
+		if stock.Quantity < t.Threshold {
+			low++
+		}
+	}
+	return core.Outcome{Response: encodeI64(int64(low))}
+}
+
+func encodeI64(v int64) []byte {
+	b := make([]byte, 8)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+	return b
+}

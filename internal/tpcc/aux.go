@@ -1,0 +1,234 @@
+package tpcc
+
+import (
+	"sort"
+
+	"heron/internal/wire"
+)
+
+// AuxSyncer implementation: the warehouse-local map tables are Heron's
+// "non-serialized" state (the paper's HashMap tables). During state
+// transfer they must be serialized, shipped, and deserialized — the
+// expensive second scenario of Fig. 8. We ship a full snapshot: the
+// update-log machinery cannot bound map-table changes, and correctness
+// (deterministic re-execution after the sync point) requires the aux
+// state to reflect exactly the responder's execution point.
+
+// SnapshotAux implements core.AuxSyncer.
+func (a *App) SnapshotAux(fromTmp, toTmp uint64) []byte {
+	w := wire.NewWriter(1 << 16)
+
+	// Districts, sorted for deterministic bytes.
+	dids := make([]int32, 0, len(a.districts))
+	for did := range a.districts {
+		dids = append(dids, did)
+	}
+	sort.Slice(dids, func(i, j int) bool { return dids[i] < dids[j] })
+	w.U32(uint32(len(dids)))
+	for _, did := range dids {
+		encodeDistrict(w, a.districts[did])
+	}
+
+	// Orders with their lines.
+	keys := make([]orderKey, 0, len(a.orders))
+	for k := range a.orders {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].did != keys[j].did {
+			return keys[i].did < keys[j].did
+		}
+		return keys[i].oid < keys[j].oid
+	})
+	w.U32(uint32(len(keys)))
+	for _, k := range keys {
+		encodeOrder(w, a.orders[k])
+		lines := a.orderLines[k]
+		w.U32(uint32(len(lines)))
+		for i := range lines {
+			encodeOrderLine(w, &lines[i])
+		}
+	}
+
+	// New-Order FIFOs.
+	w.U32(uint32(len(dids)))
+	for _, did := range dids {
+		w.U32(uint32(did))
+		fifo := a.newOrders[did]
+		w.U32(uint32(len(fifo)))
+		for _, oid := range fifo {
+			w.U32(uint32(oid))
+		}
+	}
+
+	// History.
+	w.U32(uint32(len(a.history)))
+	for i := range a.history {
+		encodeHistory(w, &a.history[i])
+	}
+	return w.Finish()
+}
+
+// ApplyAux implements core.AuxSyncer.
+func (a *App) ApplyAux(data []byte) {
+	r := wire.NewReader(data)
+
+	districts := make(map[int32]*District)
+	nd := int(r.U32())
+	for i := 0; i < nd && r.Err() == nil; i++ {
+		d := decodeDistrict(r)
+		districts[d.ID] = d
+	}
+
+	orders := make(map[orderKey]*Order)
+	orderLines := make(map[orderKey][]OrderLine)
+	lastOrderOf := make(map[custKey]int32)
+	no := int(r.U32())
+	for i := 0; i < no && r.Err() == nil; i++ {
+		ord := decodeOrder(r)
+		key := orderKey{did: ord.DID, oid: ord.ID}
+		orders[key] = ord
+		nl := int(r.U32())
+		lines := make([]OrderLine, 0, nl)
+		for j := 0; j < nl && r.Err() == nil; j++ {
+			lines = append(lines, *decodeOrderLine(r))
+		}
+		orderLines[key] = lines
+		ck := custKey{did: ord.DID, cid: ord.CID}
+		if ord.ID > lastOrderOf[ck] {
+			lastOrderOf[ck] = ord.ID
+		}
+	}
+
+	newOrders := make(map[int32][]int32)
+	nf := int(r.U32())
+	for i := 0; i < nf && r.Err() == nil; i++ {
+		did := int32(r.U32())
+		n := int(r.U32())
+		fifo := make([]int32, 0, n)
+		for j := 0; j < n && r.Err() == nil; j++ {
+			fifo = append(fifo, int32(r.U32()))
+		}
+		newOrders[did] = fifo
+	}
+
+	nh := int(r.U32())
+	history := make([]History, 0, nh)
+	for i := 0; i < nh && r.Err() == nil; i++ {
+		history = append(history, *decodeHistory(r))
+	}
+
+	if r.Err() != nil {
+		return // corrupt snapshot: keep current state
+	}
+	a.districts = districts
+	a.orders = orders
+	a.orderLines = orderLines
+	a.newOrders = newOrders
+	a.history = history
+	a.lastOrderOf = lastOrderOf
+}
+
+func encodeDistrict(w *wire.Writer, d *District) {
+	w.U32(uint32(d.ID))
+	w.U32(uint32(d.WID))
+	w.String(d.Name)
+	w.String(d.Street)
+	w.String(d.City)
+	w.String(d.State)
+	w.String(d.Zip)
+	w.I64(d.Tax)
+	w.I64(d.YTD)
+	w.U32(uint32(d.NextOID))
+}
+
+func decodeDistrict(r *wire.Reader) *District {
+	return &District{
+		ID:      int32(r.U32()),
+		WID:     int32(r.U32()),
+		Name:    r.String(),
+		Street:  r.String(),
+		City:    r.String(),
+		State:   r.String(),
+		Zip:     r.String(),
+		Tax:     r.I64(),
+		YTD:     r.I64(),
+		NextOID: int32(r.U32()),
+	}
+}
+
+func encodeOrder(w *wire.Writer, o *Order) {
+	w.U32(uint32(o.ID))
+	w.U32(uint32(o.DID))
+	w.U32(uint32(o.WID))
+	w.U32(uint32(o.CID))
+	w.I64(o.EntryD)
+	w.U32(uint32(o.CarrierID))
+	w.U32(uint32(o.OLCnt))
+	w.Bool(o.AllLocal)
+}
+
+func decodeOrder(r *wire.Reader) *Order {
+	return &Order{
+		ID:        int32(r.U32()),
+		DID:       int32(r.U32()),
+		WID:       int32(r.U32()),
+		CID:       int32(r.U32()),
+		EntryD:    r.I64(),
+		CarrierID: int32(r.U32()),
+		OLCnt:     int32(r.U32()),
+		AllLocal:  r.Bool(),
+	}
+}
+
+func encodeOrderLine(w *wire.Writer, l *OrderLine) {
+	w.U32(uint32(l.OID))
+	w.U32(uint32(l.DID))
+	w.U32(uint32(l.WID))
+	w.U32(uint32(l.Number))
+	w.U32(uint32(l.IID))
+	w.U32(uint32(l.SupplyWID))
+	w.I64(l.DeliveryD)
+	w.U32(uint32(l.Quantity))
+	w.I64(l.Amount)
+	w.String(l.DistInfo)
+}
+
+func decodeOrderLine(r *wire.Reader) *OrderLine {
+	return &OrderLine{
+		OID:       int32(r.U32()),
+		DID:       int32(r.U32()),
+		WID:       int32(r.U32()),
+		Number:    int32(r.U32()),
+		IID:       int32(r.U32()),
+		SupplyWID: int32(r.U32()),
+		DeliveryD: r.I64(),
+		Quantity:  int32(r.U32()),
+		Amount:    r.I64(),
+		DistInfo:  r.String(),
+	}
+}
+
+func encodeHistory(w *wire.Writer, h *History) {
+	w.U32(uint32(h.CID))
+	w.U32(uint32(h.CDID))
+	w.U32(uint32(h.CWID))
+	w.U32(uint32(h.DID))
+	w.U32(uint32(h.WID))
+	w.I64(h.Date)
+	w.I64(h.Amount)
+	w.String(h.Data)
+}
+
+func decodeHistory(r *wire.Reader) *History {
+	return &History{
+		CID:    int32(r.U32()),
+		CDID:   int32(r.U32()),
+		CWID:   int32(r.U32()),
+		DID:    int32(r.U32()),
+		WID:    int32(r.U32()),
+		Date:   r.I64(),
+		Amount: r.I64(),
+		Data:   r.String(),
+	}
+}

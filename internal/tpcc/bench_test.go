@@ -1,0 +1,41 @@
+package tpcc
+
+import "testing"
+
+// BenchmarkStockCodec measures the manual stock row round trip.
+func BenchmarkStockCodec(b *testing.B) {
+	ds := NewDataset(1, 1, SmallScale())
+	s := ds.GenStock(1, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc := EncodeStock(s)
+		if _, err := DecodeStock(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCustomerCodec measures the manual customer row round trip.
+func BenchmarkCustomerCodec(b *testing.B) {
+	ds := NewDataset(1, 1, SmallScale())
+	c := ds.GenCustomer(1, 1, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc := EncodeCustomer(c)
+		if _, err := DecodeCustomer(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWorkloadGen measures transaction generation.
+func BenchmarkWorkloadGen(b *testing.B) {
+	w := NewWorkload(1, 8, SmallScale())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		txn := w.Next()
+		if _, err := DecodeTxn(txn.Encode()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package tpcc
+
+import (
+	"fmt"
+
+	"heron/internal/wire"
+)
+
+// Manual binary codecs for the serialized tables, mirroring the paper's
+// hand-rolled (de)serialization ("a manually (de)serialization of objects
+// rather than using a serializer library, and storing strings as byte
+// buffers"). Only Stock and Customer are remotely readable and therefore
+// serialized; other tables live in native maps.
+
+// EncodeStock serializes a stock row.
+func EncodeStock(s *Stock) []byte {
+	w := wire.NewWriter(StockMaxBytes)
+	w.U32(uint32(s.IID))
+	w.U32(uint32(s.WID))
+	w.U32(uint32(s.Quantity))
+	for i := range s.Dists {
+		w.String(s.Dists[i])
+	}
+	w.I64(s.YTD)
+	w.U32(uint32(s.OrderCnt))
+	w.U32(uint32(s.RemoteCnt))
+	w.String(s.Data)
+	return w.Finish()
+}
+
+// DecodeStock deserializes a stock row.
+func DecodeStock(b []byte) (*Stock, error) {
+	r := wire.NewReader(b)
+	s := &Stock{
+		IID:      int32(r.U32()),
+		WID:      int32(r.U32()),
+		Quantity: int32(r.U32()),
+	}
+	for i := range s.Dists {
+		s.Dists[i] = r.String()
+	}
+	s.YTD = r.I64()
+	s.OrderCnt = int32(r.U32())
+	s.RemoteCnt = int32(r.U32())
+	s.Data = r.String()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("tpcc: decode stock: %w", err)
+	}
+	return s, nil
+}
+
+// EncodeCustomer serializes a customer row.
+func EncodeCustomer(c *Customer) []byte {
+	w := wire.NewWriter(CustomerMaxBytes)
+	w.U32(uint32(c.ID))
+	w.U32(uint32(c.DID))
+	w.U32(uint32(c.WID))
+	w.String(c.First)
+	w.String(c.Middle)
+	w.String(c.Last)
+	w.String(c.Street)
+	w.String(c.City)
+	w.String(c.State)
+	w.String(c.Zip)
+	w.String(c.Phone)
+	w.I64(c.Since)
+	w.String(c.Credit)
+	w.I64(c.CreditLim)
+	w.I64(c.Discount)
+	w.I64(c.Balance)
+	w.I64(c.YTDPayment)
+	w.U32(uint32(c.PaymentCnt))
+	w.U32(uint32(c.DeliveryCnt))
+	w.String(c.Data)
+	return w.Finish()
+}
+
+// DecodeCustomer deserializes a customer row.
+func DecodeCustomer(b []byte) (*Customer, error) {
+	r := wire.NewReader(b)
+	c := &Customer{
+		ID:  int32(r.U32()),
+		DID: int32(r.U32()),
+		WID: int32(r.U32()),
+	}
+	c.First = r.String()
+	c.Middle = r.String()
+	c.Last = r.String()
+	c.Street = r.String()
+	c.City = r.String()
+	c.State = r.String()
+	c.Zip = r.String()
+	c.Phone = r.String()
+	c.Since = r.I64()
+	c.Credit = r.String()
+	c.CreditLim = r.I64()
+	c.Discount = r.I64()
+	c.Balance = r.I64()
+	c.YTDPayment = r.I64()
+	c.PaymentCnt = int32(r.U32())
+	c.DeliveryCnt = int32(r.U32())
+	c.Data = r.String()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("tpcc: decode customer: %w", err)
+	}
+	return c, nil
+}

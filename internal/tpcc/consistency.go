@@ -1,0 +1,108 @@
+package tpcc
+
+import (
+	"fmt"
+
+	"heron/internal/store"
+)
+
+// CheckConsistency verifies the TPC-C specification's consistency
+// conditions (clause 3.3.2) on one replica's state, adapted to this
+// implementation:
+//
+//	C1: for every district, D_NEXT_O_ID - 1 equals the maximum order id
+//	    present in the Order table.
+//	C2: every order's O_OL_CNT equals its number of order lines.
+//	C3: the New-Order FIFO of a district contains exactly the ids of its
+//	    undelivered orders (carrier id 0), in increasing order.
+//	C4: for every customer, C_BALANCE + C_YTD_PAYMENT equals the sum of
+//	    the delivered order-line amounts of that customer's orders (both
+//	    start balanced at zero: initial balance -10.00 + ytd 10.00, with
+//	    initial order lines carrying zero into this identity via their
+//	    delivered flag).
+//
+// It is used by integration tests after workload runs: a scheduling or
+// replication bug that corrupts warehouse-local state surfaces here even
+// when replicas agree with each other.
+func (a *App) CheckConsistency(st *store.Store) error {
+	for did := int32(1); did <= int32(a.ds.Scale.DistrictsPerWH); did++ {
+		d := a.districts[did]
+		if d == nil {
+			return fmt.Errorf("tpcc: district %d missing", did)
+		}
+		// C1: max order id == NextOID - 1.
+		var maxOID int32
+		for key := range a.orders {
+			if key.did == did && key.oid > maxOID {
+				maxOID = key.oid
+			}
+		}
+		if maxOID != d.NextOID-1 {
+			return fmt.Errorf("tpcc: C1 violated in district %d: max order %d, next %d", did, maxOID, d.NextOID)
+		}
+		// C2: order line counts.
+		for key, ord := range a.orders {
+			if key.did != did {
+				continue
+			}
+			if got := int32(len(a.orderLines[key])); got != ord.OLCnt {
+				return fmt.Errorf("tpcc: C2 violated for order (%d,%d): %d lines, O_OL_CNT %d",
+					did, key.oid, got, ord.OLCnt)
+			}
+		}
+		// C3: New-Order FIFO == undelivered orders, ascending.
+		undelivered := map[int32]bool{}
+		for key, ord := range a.orders {
+			if key.did == did && ord.CarrierID == 0 {
+				undelivered[key.oid] = true
+			}
+		}
+		prev := int32(0)
+		for _, oid := range a.newOrders[did] {
+			if oid <= prev {
+				return fmt.Errorf("tpcc: C3 violated in district %d: FIFO not ascending at %d", did, oid)
+			}
+			prev = oid
+			if !undelivered[oid] {
+				return fmt.Errorf("tpcc: C3 violated in district %d: FIFO contains delivered order %d", did, oid)
+			}
+			delete(undelivered, oid)
+		}
+		if len(undelivered) != 0 {
+			return fmt.Errorf("tpcc: C3 violated in district %d: %d undelivered orders missing from FIFO",
+				did, len(undelivered))
+		}
+	}
+
+	// C4: customer balances against delivered order lines.
+	// Delivered amount per (did, cid).
+	delivered := map[custKey]int64{}
+	for key, ord := range a.orders {
+		if ord.CarrierID == 0 {
+			continue
+		}
+		var sum int64
+		for _, line := range a.orderLines[key] {
+			sum += line.Amount
+		}
+		delivered[custKey{did: key.did, cid: ord.CID}] += sum
+	}
+	for did := int32(1); did <= int32(a.ds.Scale.DistrictsPerWH); did++ {
+		for cid := int32(1); cid <= int32(a.ds.Scale.CustomersPerDistrict); cid++ {
+			raw, _, ok := st.Get(CustomerOID(int(a.wid), int(did), int(cid)))
+			if !ok {
+				return fmt.Errorf("tpcc: customer (%d,%d) missing from store", did, cid)
+			}
+			cust, err := DecodeCustomer(raw)
+			if err != nil {
+				return fmt.Errorf("tpcc: customer (%d,%d): %w", did, cid, err)
+			}
+			want := delivered[custKey{did: did, cid: cid}]
+			if got := cust.Balance + cust.YTDPayment; got != want {
+				return fmt.Errorf("tpcc: C4 violated for customer (%d,%d): balance %d + ytd %d != delivered %d",
+					did, cid, cust.Balance, cust.YTDPayment, want)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,197 @@
+package tpcc
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// NURand constants from TPCC clause 2.1.6. CLoad is the per-run constant
+// C; we fix it for reproducibility.
+const (
+	cLast = 123
+	cCID  = 259
+	cItem = 4211
+)
+
+// nuRand is TPCC's non-uniform random distribution.
+func nuRand(rng *rand.Rand, a, c, x, y int) int {
+	return (((randRange(rng, 0, a) | randRange(rng, x, y)) + c) % (y - x + 1)) + x
+}
+
+// randRange returns a uniform integer in [lo, hi].
+func randRange(rng *rand.Rand, lo, hi int) int {
+	return lo + rng.Intn(hi-lo+1)
+}
+
+// nuRandCID draws a customer id.
+func nuRandCID(rng *rand.Rand, customers int) int {
+	if customers >= 3000 {
+		return nuRand(rng, 1023, cCID, 1, customers)
+	}
+	return randRange(rng, 1, customers)
+}
+
+// nuRandItem draws an item id.
+func nuRandItem(rng *rand.Rand, items int) int {
+	if items >= 100000 {
+		return nuRand(rng, 8191, cItem, 1, items)
+	}
+	return randRange(rng, 1, items)
+}
+
+// lastNameSyllables per TPCC clause 4.3.2.3.
+var lastNameSyllables = []string{
+	"BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING",
+}
+
+// LastName builds the TPCC synthetic last name for a number in [0, 999].
+func LastName(num int) string {
+	return lastNameSyllables[num/100] + lastNameSyllables[num/10%10] + lastNameSyllables[num%10]
+}
+
+// randAString returns a random alphanumeric string with length in
+// [lo, hi].
+func randAString(rng *rand.Rand, lo, hi int) string {
+	const chars = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+	n := randRange(rng, lo, hi)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = chars[rng.Intn(len(chars))]
+	}
+	return string(b)
+}
+
+// randNString returns a random numeric string with length in [lo, hi].
+func randNString(rng *rand.Rand, lo, hi int) string {
+	n := randRange(rng, lo, hi)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('0' + rng.Intn(10))
+	}
+	return string(b)
+}
+
+// randZip builds a TPCC zip code: 4 random digits + "11111".
+func randZip(rng *rand.Rand) string { return randNString(rng, 4, 4) + "11111" }
+
+// Dataset is the generated initial database for a deployment: the
+// replicated read-only tables plus per-warehouse rows. Generation is
+// deterministic in the seed, so every replica (and the DynaStar baseline)
+// builds identical state.
+type Dataset struct {
+	Scale      Scale
+	Warehouses int
+	Items      []Item      // replicated, read-only; index = item id - 1
+	WHs        []Warehouse // replicated, read-only; index = warehouse id - 1
+}
+
+// NewDataset generates the read-only tables for the given scale.
+func NewDataset(seed int64, warehouses int, scale Scale) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := &Dataset{Scale: scale, Warehouses: warehouses}
+	d.Items = make([]Item, scale.Items)
+	for i := range d.Items {
+		data := randAString(rng, 26, 50)
+		if rng.Intn(10) == 0 {
+			// 10% of items carry "ORIGINAL" (clause 4.3.3.1).
+			data = "ORIGINAL" + data[8:]
+		}
+		d.Items[i] = Item{
+			ID:    int32(i + 1),
+			ImID:  int32(randRange(rng, 1, 10000)),
+			Name:  randAString(rng, 14, 24),
+			Price: int64(randRange(rng, 100, 10000)),
+			Data:  data,
+		}
+	}
+	d.WHs = make([]Warehouse, warehouses)
+	for w := range d.WHs {
+		d.WHs[w] = Warehouse{
+			ID:     int32(w + 1),
+			Name:   randAString(rng, 6, 10),
+			Street: randAString(rng, 10, 20),
+			City:   randAString(rng, 10, 20),
+			State:  randAString(rng, 2, 2),
+			Zip:    randZip(rng),
+			Tax:    int64(randRange(rng, 0, 2000)),
+		}
+	}
+	return d
+}
+
+// GenStock builds the initial stock row for (wid, iid). Deterministic in
+// (wid, iid) so all replicas of a partition agree.
+func (d *Dataset) GenStock(wid, iid int) *Stock {
+	rng := rand.New(rand.NewSource(int64(wid)<<32 | int64(iid)))
+	s := &Stock{
+		IID:      int32(iid),
+		WID:      int32(wid),
+		Quantity: int32(randRange(rng, 10, 100)),
+		Data:     randAString(rng, 26, 50),
+	}
+	for i := range s.Dists {
+		s.Dists[i] = randAString(rng, 24, 24)
+	}
+	return s
+}
+
+// GenCustomer builds the initial customer row for (wid, did, cid).
+func (d *Dataset) GenCustomer(wid, did, cid int) *Customer {
+	rng := rand.New(rand.NewSource(int64(wid)<<40 | int64(did)<<32 | int64(cid)))
+	lastNum := cid - 1
+	if lastNum > 999 {
+		lastNum = nuRand(rng, 255, cLast, 0, 999)
+	}
+	credit := "GC"
+	if rng.Intn(10) == 0 {
+		credit = "BC"
+	}
+	return &Customer{
+		ID:         int32(cid),
+		DID:        int32(did),
+		WID:        int32(wid),
+		First:      randAString(rng, 8, 16),
+		Middle:     "OE",
+		Last:       LastName(lastNum),
+		Street:     randAString(rng, 10, 20),
+		City:       randAString(rng, 10, 20),
+		State:      randAString(rng, 2, 2),
+		Zip:        randZip(rng),
+		Phone:      randNString(rng, 16, 16),
+		Since:      1,
+		Credit:     credit,
+		CreditLim:  5000000,
+		Discount:   int64(randRange(rng, 0, 5000)),
+		Balance:    -1000,
+		YTDPayment: 1000,
+		PaymentCnt: 1,
+		Data:       randAString(rng, 300, 500),
+	}
+}
+
+// GenDistrict builds the initial district row.
+func (d *Dataset) GenDistrict(wid, did int) *District {
+	rng := rand.New(rand.NewSource(int64(wid)<<16 | int64(did)))
+	return &District{
+		ID:      int32(did),
+		WID:     int32(wid),
+		Name:    randAString(rng, 6, 10),
+		Street:  randAString(rng, 10, 20),
+		City:    randAString(rng, 10, 20),
+		State:   randAString(rng, 2, 2),
+		Zip:     randZip(rng),
+		Tax:     int64(randRange(rng, 0, 2000)),
+		NextOID: int32(d.Scale.InitialOrders + 1),
+	}
+}
+
+// Validate sanity-checks the scale.
+func (s Scale) Validate() error {
+	if s.Items <= 0 || s.DistrictsPerWH <= 0 || s.CustomersPerDistrict <= 0 {
+		return fmt.Errorf("tpcc: invalid scale %+v", s)
+	}
+	if s.InitialOrders > s.CustomersPerDistrict {
+		return fmt.Errorf("tpcc: initial orders %d exceed customers %d", s.InitialOrders, s.CustomersPerDistrict)
+	}
+	return nil
+}
