@@ -10,13 +10,17 @@
 //	heron-bench fig8    [-runs 5] [-full]
 //	heron-bench table1  [-window 150ms]
 //	heron-bench ablation
+//	heron-bench fanout  [-sizes 1,2,4,8,16,32] [-targets 4] [-slot 96]
 //	heron-bench all     [-quick]
 //
+// Every subcommand accepts -json to emit machine-readable results instead
+// of the formatted table, for experiment runners and trajectory tracking.
 // Each subcommand prints the same rows/series the paper reports; see
 // EXPERIMENTS.md for paper-vs-measured notes.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -54,6 +58,8 @@ func main() {
 		err = runAblation(args)
 	case "workers":
 		err = runWorkers(args)
+	case "fanout":
+		err = runFanout(args)
 	case "all":
 		err = runAll(args)
 	default:
@@ -68,11 +74,29 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: heron-bench {fig4|fig5|fig6|fig7|fig8|table1|ablation|workers|all} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: heron-bench {fig4|fig5|fig6|fig7|fig8|table1|ablation|workers|fanout|all} [flags] [-json]")
 }
 
-// parseWH parses a comma-separated warehouse list.
-func parseWH(s string) ([]int, error) {
+// formatter is any experiment result renderable as a text table.
+type formatter interface{ Format() string }
+
+// emit prints a result as its formatted table, or as indented JSON when
+// asJSON is set (for experiment runners and BENCH_*.json tracking).
+func emit(res formatter, asJSON bool) error {
+	if asJSON {
+		b, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(b))
+		return nil
+	}
+	fmt.Print(res.Format())
+	return nil
+}
+
+// parseInts parses a comma-separated list of positive integers.
+func parseInts(s, what string) ([]int, error) {
 	if s == "" {
 		return nil, nil
 	}
@@ -80,18 +104,22 @@ func parseWH(s string) ([]int, error) {
 	for _, part := range strings.Split(s, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil || n <= 0 {
-			return nil, fmt.Errorf("bad warehouse count %q", part)
+			return nil, fmt.Errorf("bad %s %q", what, part)
 		}
 		out = append(out, n)
 	}
 	return out, nil
 }
 
+// parseWH parses a comma-separated warehouse list.
+func parseWH(s string) ([]int, error) { return parseInts(s, "warehouse count") }
+
 func runFig4(args []string) error {
 	fs := flag.NewFlagSet("fig4", flag.ExitOnError)
 	wh := fs.String("wh", "1,2,4,8,16", "comma-separated warehouse counts")
 	clients := fs.Int("clients", 0, "clients per partition (0 = default)")
 	window := fs.Duration("window", 0, "measurement window of virtual time (0 = default)")
+	asJSON := fs.Bool("json", false, "emit machine-readable JSON")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -103,14 +131,14 @@ func runFig4(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Print(res.Format())
-	return nil
+	return emit(res, *asJSON)
 }
 
 func runFig5(args []string) error {
 	fs := flag.NewFlagSet("fig5", flag.ExitOnError)
 	wh := fs.String("wh", "1,2,4,8,16", "comma-separated warehouse counts")
 	window := fs.Duration("window", 0, "measurement window of virtual time (0 = default)")
+	asJSON := fs.Bool("json", false, "emit machine-readable JSON")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -122,13 +150,13 @@ func runFig5(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Print(res.Format())
-	return nil
+	return emit(res, *asJSON)
 }
 
 func runFig6(args []string) error {
 	fs := flag.NewFlagSet("fig6", flag.ExitOnError)
 	requests := fs.Int("requests", 400, "requests per workload")
+	asJSON := fs.Bool("json", false, "emit machine-readable JSON")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -136,14 +164,14 @@ func runFig6(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Print(res.Format())
-	return nil
+	return emit(res, *asJSON)
 }
 
 func runFig7(args []string) error {
 	fs := flag.NewFlagSet("fig7", flag.ExitOnError)
 	wh := fs.Int("wh", 4, "warehouses")
 	requests := fs.Int("requests", 400, "requests per transaction type")
+	asJSON := fs.Bool("json", false, "emit machine-readable JSON")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -151,14 +179,14 @@ func runFig7(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Print(res.Format())
-	return nil
+	return emit(res, *asJSON)
 }
 
 func runFig8(args []string) error {
 	fs := flag.NewFlagSet("fig8", flag.ExitOnError)
 	runs := fs.Int("runs", 5, "repetitions per configuration")
 	full := fs.Bool("full", false, "also recover a full-scale TPCC warehouse (uses ~400MB RAM)")
+	asJSON := fs.Bool("json", false, "emit machine-readable JSON")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -166,13 +194,13 @@ func runFig8(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Print(res.Format())
-	return nil
+	return emit(res, *asJSON)
 }
 
 func runTable1(args []string) error {
 	fs := flag.NewFlagSet("table1", flag.ExitOnError)
 	window := fs.Duration("window", 0, "measurement window of virtual time (0 = default)")
+	asJSON := fs.Bool("json", false, "emit machine-readable JSON")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -180,12 +208,12 @@ func runTable1(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Print(res.Format())
-	return nil
+	return emit(res, *asJSON)
 }
 
 func runAblation(args []string) error {
 	fs := flag.NewFlagSet("ablation", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit machine-readable JSON")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -193,14 +221,14 @@ func runAblation(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Print(res.Format())
-	return nil
+	return emit(res, *asJSON)
 }
 
 func runWorkers(args []string) error {
 	fs := flag.NewFlagSet("workers", flag.ExitOnError)
 	wh := fs.Int("wh", 2, "warehouses")
 	window := fs.Duration("window", 0, "measurement window of virtual time (0 = default)")
+	asJSON := fs.Bool("json", false, "emit machine-readable JSON")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -208,8 +236,27 @@ func runWorkers(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Print(res.Format())
-	return nil
+	return emit(res, *asJSON)
+}
+
+func runFanout(args []string) error {
+	fs := flag.NewFlagSet("fanout", flag.ExitOnError)
+	sizes := fs.String("sizes", "1,2,4,8,16,32", "comma-separated read-set sizes")
+	targets := fs.Int("targets", 4, "target nodes to stripe objects over")
+	slot := fs.Int("slot", 0, "slot size in bytes (0 = dual-version slot of a 32-byte object)")
+	asJSON := fs.Bool("json", false, "emit machine-readable JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ks, err := parseInts(*sizes, "read-set size")
+	if err != nil {
+		return err
+	}
+	res, err := bench.RunFanout(ks, *targets, *slot)
+	if err != nil {
+		return err
+	}
+	return emit(res, *asJSON)
 }
 
 func runAll(args []string) error {
@@ -217,6 +264,7 @@ func runAll(args []string) error {
 	quick := fs.Bool("quick", false, "smaller configurations for a fast pass")
 	windowFlag := fs.Duration("window", 0, "measurement window of virtual time (0 = default)")
 	reqFlag := fs.Int("requests", 0, "requests per latency workload (0 = default)")
+	asJSON := fs.Bool("json", false, "emit machine-readable JSON")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -238,26 +286,44 @@ func runAll(args []string) error {
 	}
 	steps := []struct {
 		name string
-		fn   func() (interface{ Format() string }, error)
+		fn   func() (formatter, error)
 	}{
-		{"fig4", func() (interface{ Format() string }, error) { return bench.RunFig4(counts, 0, window) }},
-		{"fig5", func() (interface{ Format() string }, error) { return bench.RunFig5(counts, window) }},
-		{"fig6", func() (interface{ Format() string }, error) { return bench.RunFig6(requests) }},
-		{"fig7", func() (interface{ Format() string }, error) { return bench.RunFig7(4, requests) }},
-		{"table1", func() (interface{ Format() string }, error) { return bench.RunTable1(window) }},
-		{"fig8", func() (interface{ Format() string }, error) { return bench.RunFig8(runs, !*quick) }},
-		{"ablation", func() (interface{ Format() string }, error) { return bench.RunCutoffAblation(nil, 0, window) }},
-		{"workers", func() (interface{ Format() string }, error) { return bench.RunWorkerAblation(nil, 2, window) }},
+		{"fig4", func() (formatter, error) { return bench.RunFig4(counts, 0, window) }},
+		{"fig5", func() (formatter, error) { return bench.RunFig5(counts, window) }},
+		{"fig6", func() (formatter, error) { return bench.RunFig6(requests) }},
+		{"fig7", func() (formatter, error) { return bench.RunFig7(4, requests) }},
+		{"table1", func() (formatter, error) { return bench.RunTable1(window) }},
+		{"fig8", func() (formatter, error) { return bench.RunFig8(runs, !*quick) }},
+		{"ablation", func() (formatter, error) { return bench.RunCutoffAblation(nil, 0, window) }},
+		{"workers", func() (formatter, error) { return bench.RunWorkerAblation(nil, 2, window) }},
+		{"fanout", func() (formatter, error) { return bench.RunFanout(nil, 0, 0) }},
 	}
+	type stepResult struct {
+		Step   string
+		Result formatter
+	}
+	var collected []stepResult
 	for _, step := range steps {
 		t0 := time.Now()
 		res, err := step.fn()
 		if err != nil {
 			return fmt.Errorf("%s: %w", step.name, err)
 		}
+		if *asJSON {
+			collected = append(collected, stepResult{Step: step.name, Result: res})
+			fmt.Fprintf(os.Stderr, "[%s: %v wall time]\n", step.name, time.Since(t0).Round(time.Millisecond))
+			continue
+		}
 		fmt.Printf("==================== %s ====================\n", step.name)
 		fmt.Print(res.Format())
 		fmt.Printf("[%s: %v wall time]\n\n", step.name, time.Since(t0).Round(time.Millisecond))
+	}
+	if *asJSON {
+		b, err := json.MarshalIndent(collected, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(b))
 	}
 	return nil
 }

@@ -197,3 +197,48 @@ func TestStatsRecorder(t *testing.T) {
 		t.Fatalf("throughput = %f", Throughput(100, 10*sim.Millisecond))
 	}
 }
+
+func TestFanoutShape(t *testing.T) {
+	res, err := RunFanout([]int{1, 4, 16}, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	r1, r4, r16 := res.Rows[0], res.Rows[1], res.Rows[2]
+	// One object: posting overhead aside, sync and pipelined coincide.
+	if ratio := float64(r1.Sync) / float64(r1.Pipelined); ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("k=1 sync/pipelined = %.2f, want ~1", ratio)
+	}
+	// Sync scales linearly with the read-set size.
+	if ratio := float64(r16.Sync) / float64(r1.Sync); ratio < 12 {
+		t.Fatalf("sync 16/1 scaling = %.1f, want ~16 (linear)", ratio)
+	}
+	// Pipelined scales near-flat: max of the READ latencies plus per-verb
+	// posting/occupancy overhead, nowhere near 16x.
+	if ratio := float64(r16.Pipelined) / float64(r1.Pipelined); ratio > 4 {
+		t.Fatalf("pipelined 16/1 scaling = %.1f, want near-flat", ratio)
+	}
+	if r16.Speedup < 4 {
+		t.Fatalf("k=16 speedup = %.1fx, want >= 4x", r16.Speedup)
+	}
+	if r4.Pipelined <= r1.Pipelined {
+		t.Fatalf("pipelined latency must still grow with occupancy: k=4 %v <= k=1 %v", r4.Pipelined, r1.Pipelined)
+	}
+}
+
+// TestFanoutDeterministic: same parameters, identical latencies.
+func TestFanoutDeterministic(t *testing.T) {
+	a, err := RunFanout([]int{8}, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFanout([]int{8}, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rows[0] != b.Rows[0] {
+		t.Fatalf("fanout not deterministic: %+v vs %+v", a.Rows[0], b.Rows[0])
+	}
+}

@@ -89,12 +89,16 @@ func (r *Replica) handleControl(p *sim.Proc, datagram []byte, from rdma.NodeID) 
 		if rd.Err() != nil {
 			return
 		}
-		reply := &addrReply{oid: q.oid}
-		if addr, slotLen, ok := r.st.Addr(storeOID(q.oid)); ok {
-			reply.found = true
-			reply.key = uint32(addr.Key)
-			reply.off = uint64(addr.Off)
-			reply.slotLen = uint32(slotLen)
+		reply := &addrReply{entries: make([]addrEntry, 0, len(q.oids))}
+		for _, oid := range q.oids {
+			e := addrEntry{oid: oid}
+			if addr, slotLen, ok := r.st.Addr(storeOID(oid)); ok {
+				e.found = true
+				e.key = uint32(addr.Key)
+				e.off = uint64(addr.Off)
+				e.slotLen = uint32(slotLen)
+			}
+			reply.entries = append(reply.entries, e)
 		}
 		_ = r.tr.Send(p, r.node.ID(), from, encodeAddrReply(reply))
 	case ctlAddrReply:
@@ -102,14 +106,16 @@ func (r *Replica) handleControl(p *sim.Proc, datagram []byte, from rdma.NodeID) 
 		if rd.Err() != nil {
 			return
 		}
-		key := objMapKey{oid: storeOID(m.oid), node: from}
-		if m.found {
-			r.objMap[key] = objMapEntry{
-				addr:    rdma.Addr{Node: from, Key: rdma.RKey(m.key), Off: int(m.off)},
-				slotLen: int(m.slotLen),
+		for _, e := range m.entries {
+			key := objMapKey{oid: storeOID(e.oid), node: from}
+			if e.found {
+				r.objMap[key] = objMapEntry{
+					addr:    rdma.Addr{Node: from, Key: rdma.RKey(e.key), Off: int(e.off)},
+					slotLen: int(e.slotLen),
+				}
+			} else {
+				r.objMap[key] = objMapEntry{missing: true}
 			}
-		} else {
-			r.objMap[key] = objMapEntry{missing: true}
 		}
 		r.queryCond.Broadcast()
 	}

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 
 	"heron/internal/rdma"
@@ -9,41 +8,41 @@ import (
 	"heron/internal/store"
 )
 
-// execute is Algorithm 2: resolve the read set (local gets plus one-sided
-// remote reads with dual-version selection), run the application, apply
-// local writes. It returns ok=false when the replica found itself lagging
-// and ran state transfer instead of completing the request.
+// execute is Algorithm 2: resolve the read set (local gets plus pipelined
+// one-sided remote reads with dual-version selection), run the
+// application, apply local writes. It returns ok=false when the replica
+// found itself lagging and ran state transfer instead of completing the
+// request.
 func (r *Replica) execute(p *sim.Proc, req *Request) ([]byte, bool) {
 	readSet := r.app.ReadSet(req)
 	values := make(map[store.OID][]byte, len(readSet))
+	var remote []remoteRead
 	for _, oid := range readSet {
 		h := r.parter.PartitionOf(oid)
-		if h == r.part {
-			// Local read: the newest version reflects exactly the
-			// requests executed before req, because execution is in
-			// delivery order.
-			p.Sleep(r.cfg.LocalReadCPU)
-			val, _, ok := r.st.GetAt(oid, uint64(req.Ts))
-			if !ok {
-				// Either the object was never initialized (treat as
-				// absent) or local state overtook this request — which
-				// cannot happen on the executor's own store.
-				if r.st.Registered(oid) {
-					panic(fmt.Sprintf("heron: replica p%d/r%d: local object %d newer than executing request %v",
-						r.part, r.rank, oid, req.Ts))
-				}
-				values[oid] = nil
-				continue
-			}
-			values[oid] = val
+		if h != r.part {
+			remote = append(remote, remoteRead{oid: oid, part: h})
 			continue
 		}
-		val, ok := r.readRemote(p, req, oid, h)
+		// Local read: the newest version reflects exactly the requests
+		// executed before req, because execution is in delivery order.
+		p.Sleep(r.cfg.LocalReadCPU)
+		val, _, ok := r.st.GetAt(oid, uint64(req.Ts))
 		if !ok {
-			// Lagger: state transfer already ran inside readRemote.
-			return nil, false
+			// Either the object was never initialized (treat as absent) or
+			// local state overtook this request — which cannot happen on
+			// the executor's own store.
+			if r.st.Registered(oid) {
+				panic(fmt.Sprintf("heron: replica p%d/r%d: local object %d newer than executing request %v",
+					r.part, r.rank, oid, req.Ts))
+			}
+			values[oid] = nil
+			continue
 		}
 		values[oid] = val
+	}
+	if len(remote) > 0 && !r.resolveRemote(p, req, remote, values) {
+		// Lagger: state transfer already ran inside resolveRemote.
+		return nil, false
 	}
 
 	ctx := &ExecContext{
@@ -78,56 +77,122 @@ func (r *Replica) execute(p *sim.Proc, req *Request) ([]byte, bool) {
 	return out.Response, true
 }
 
-// readRemote reads an object hosted by partition h over one-sided RDMA
-// (Algorithm 2, lines 8-27): resolve the object's address from a majority
-// of h if unknown, read the dual-version slot from a replica that
-// coordinated in phase 2, select the version for req.Ts, and fall into
-// state transfer when no version is old enough (we are the lagger).
-func (r *Replica) readRemote(p *sim.Proc, req *Request, oid store.OID, h PartitionID) ([]byte, bool) {
-	if !r.hasAddrQuorum(oid, h) {
-		r.queryAddrs(p, oid, h)
+// remoteRead is one remote object of a request's read set, tracked
+// through the pipelined resolution.
+type remoteRead struct {
+	oid  store.OID
+	part PartitionID
+}
+
+// resolveRemote resolves every remote read of a request (Algorithm 2,
+// lines 8-27) with the asynchronous read engine: one batched
+// address-resolution quorum round covers all unknown objects, then all
+// dual-version READs are posted concurrently — grouped per target replica
+// chosen by selectProc — and collected from a completion queue, so the
+// request pays max(read latencies) plus posting overhead instead of the
+// sum. A failed completion (crashed target, torn slot) excludes that
+// replica and re-reads only the failed subset (lines 20-21). Version
+// selection and lagger detection run per OID in posting (= read-set)
+// order, which keeps collection deterministic; on the first object with
+// no version old enough, the replica runs state transfer and reports
+// ok=false (lines 23-25).
+func (r *Replica) resolveRemote(p *sim.Proc, req *Request, reads []remoteRead, values map[store.OID][]byte) bool {
+	r.batchQueryAddrs(p, reads)
+
+	excluded := make(map[PartitionID]map[rdma.NodeID]bool)
+	exclude := func(h PartitionID, n rdma.NodeID) {
+		if excluded[h] == nil {
+			excluded[h] = make(map[rdma.NodeID]bool)
+		}
+		excluded[h][n] = true
 	}
 
-	excluded := make(map[rdma.NodeID]bool)
-	for attempt := 0; attempt < 64; attempt++ {
-		q, info, ok := r.selectProc(h, req, oid, excluded)
-		if !ok {
-			// No coordinated replica with a known address yet; widen the
-			// address map and retry.
-			r.queryAddrs(p, oid, h)
-			excluded = make(map[rdma.NodeID]bool)
-			continue
-		}
-		ent := r.objMap[objMapKey{oid: oid, node: info.node}]
-		if ent.missing {
-			// The remote majority does not host this object at all.
-			return nil, r.missingObject(oid, h)
-		}
-		raw, err := r.qp(info.node).Read(p, ent.addr, ent.slotLen)
-		if err != nil {
-			// RDMA exception: remote failure — choose another process
-			// (lines 20-21).
-			excluded[info.node] = true
-			continue
-		}
-		maxSize := (ent.slotLen)/2 - 16
-		a, b, derr := store.DecodeSlot(raw, maxSize)
-		if derr != nil {
-			excluded[info.node] = true
-			continue
-		}
-		v, chosen := store.ChooseVersion(a, b, uint64(req.Ts))
-		if !chosen {
-			// Both versions are newer than our request: the partition has
-			// moved on without us. We are a lagger (lines 23-25).
-			r.invokeStateTransfer(p, req)
-			return nil, false
-		}
-		_ = q
-		return v.Val, true
+	type posted struct {
+		rr      remoteRead
+		node    rdma.NodeID
+		slotLen int
+		h       *rdma.ReadHandle
 	}
-	panic(fmt.Sprintf("heron: replica p%d/r%d: cannot read object %d from partition %d (majority unreachable?)",
-		r.part, r.rank, oid, h))
+
+	pending := reads
+	for attempt := 0; attempt < 64 && len(pending) > 0; attempt++ {
+		cq := r.node.NewCQ()
+		targets := make(map[PartitionID]peerInfo)
+		var posts []posted
+		var deferred []remoteRead
+		for _, rr := range pending {
+			info, grouped := targets[rr.part]
+			ent, have := r.objMap[objMapKey{oid: rr.oid, node: info.node}]
+			if !grouped || !have {
+				// First object of this partition in the batch — or the
+				// group's target never answered for this object — so pick a
+				// coordinated replica for it.
+				var ok bool
+				info, ok = r.selectProc(rr.part, req, rr.oid, excluded[rr.part])
+				if !ok {
+					// No coordinated replica with a known address yet; widen
+					// the address map and retry next round.
+					r.batchQueryAddrs(p, []remoteRead{rr})
+					delete(excluded, rr.part)
+					deferred = append(deferred, rr)
+					continue
+				}
+				if !grouped {
+					targets[rr.part] = info
+				}
+				ent = r.objMap[objMapKey{oid: rr.oid, node: info.node}]
+			}
+			if ent.missing {
+				// The remote majority does not host this object at all.
+				return r.missingObject(rr.oid, rr.part)
+			}
+			h, err := r.qp(info.node).PostRead(p, cq, ent.addr, ent.slotLen)
+			if err != nil {
+				// Posting failed locally: choose another process next round.
+				exclude(rr.part, info.node)
+				deferred = append(deferred, rr)
+				continue
+			}
+			posts = append(posts, posted{rr: rr, node: info.node, slotLen: ent.slotLen, h: h})
+		}
+
+		// One wait for the whole batch: a crashed target fails only its own
+		// completions (after the failure timeout), never the batch.
+		cq.WaitAll(p)
+
+		pending = deferred
+		for _, po := range posts {
+			if err := po.h.Err(); err != nil {
+				// RDMA exception: remote failure — choose another process
+				// for the failed subset only (lines 20-21).
+				r.statReadRetries++
+				exclude(po.rr.part, po.node)
+				pending = append(pending, po.rr)
+				continue
+			}
+			maxSize := po.slotLen/2 - 16
+			a, b, derr := store.DecodeSlot(po.h.Data(), maxSize)
+			if derr != nil {
+				r.statReadRetries++
+				exclude(po.rr.part, po.node)
+				pending = append(pending, po.rr)
+				continue
+			}
+			v, chosen := store.ChooseVersion(a, b, uint64(req.Ts))
+			if !chosen {
+				// Both versions are newer than our request: the partition
+				// has moved on without us. We are a lagger (lines 23-25).
+				r.invokeStateTransfer(p, req)
+				return false
+			}
+			values[po.rr.oid] = v.Val
+		}
+	}
+	if len(pending) > 0 {
+		panic(fmt.Sprintf("heron: replica p%d/r%d: cannot read %d remote objects, first %d from partition %d (majority unreachable?)",
+			r.part, r.rank, len(pending), pending[0].oid, pending[0].part))
+	}
+	return true
 }
 
 // missingObject handles a read of an object the remote partition does not
@@ -140,12 +205,8 @@ func (r *Replica) missingObject(oid store.OID, h PartitionID) bool {
 // selectProc picks a replica of h to read from (Algorithm 2's
 // select_proc): uniformly among replicas that coordinated in phase 2 for
 // req, have a known object address, and are not excluded.
-func (r *Replica) selectProc(h PartitionID, req *Request, oid store.OID, excluded map[rdma.NodeID]bool) (int, peerInfo, bool) {
-	type cand struct {
-		rank int
-		info peerInfo
-	}
-	var cands []cand
+func (r *Replica) selectProc(h PartitionID, req *Request, oid store.OID, excluded map[rdma.NodeID]bool) (peerInfo, bool) {
+	var cands []peerInfo
 	for qr, info := range r.peers[h] {
 		if info.node == r.node.ID() || excluded[info.node] {
 			continue
@@ -160,15 +221,14 @@ func (r *Replica) selectProc(h PartitionID, req *Request, oid store.OID, exclude
 		if ent.missing {
 			// A majority answered; if this one lacks the object the
 			// others will too (stores are symmetric within a partition).
-			return qr, info, true
+			return info, true
 		}
-		cands = append(cands, cand{rank: qr, info: info})
+		cands = append(cands, info)
 	}
 	if len(cands) == 0 {
-		return 0, peerInfo{}, false
+		return peerInfo{}, false
 	}
-	c := cands[r.rng.Intn(len(cands))]
-	return c.rank, c.info, true
+	return cands[r.rng.Intn(len(cands))], true
 }
 
 // hasAddrQuorum reports whether addresses for oid are known from a
@@ -185,29 +245,60 @@ func (r *Replica) hasAddrQuorum(oid store.OID, h PartitionID) bool {
 	return got >= need
 }
 
-// queryAddrs broadcasts query_obj_addr to partition h and waits for a
-// majority of replies (Algorithm 2, lines 8-13). Replies are recorded by
-// the control process into objMap; queryCond is broadcast on every
-// recorded reply.
-func (r *Replica) queryAddrs(p *sim.Proc, oid store.OID, h PartitionID) {
-	msg := encodeAddrQuery(&addrQuery{oid: uint64(oid)})
+// batchQueryAddrs broadcasts query_obj_addr for every read whose object
+// lacks answers from a majority of its partition, batching all unknown
+// OIDs of one partition into a single message and waiting for all
+// majorities at once — one quorum round per request instead of one per
+// OID (Algorithm 2, lines 8-13). Replies are recorded by the control
+// process into objMap; queryCond is broadcast on every recorded reply.
+// Send failures are tolerated: the retransmission round resends.
+func (r *Replica) batchQueryAddrs(p *sim.Proc, reads []remoteRead) {
+	// Group unknown OIDs per partition in read-set order (deterministic —
+	// never range over the map when sending).
+	var parts []PartitionID
+	unknown := make(map[PartitionID][]uint64)
+	seen := make(map[store.OID]bool, len(reads))
+	for _, rr := range reads {
+		if seen[rr.oid] {
+			continue
+		}
+		seen[rr.oid] = true
+		if r.hasAddrQuorum(rr.oid, rr.part) {
+			continue
+		}
+		if _, ok := unknown[rr.part]; !ok {
+			parts = append(parts, rr.part)
+		}
+		unknown[rr.part] = append(unknown[rr.part], uint64(rr.oid))
+	}
+	if len(parts) == 0 {
+		return
+	}
+	resolved := func() bool {
+		for _, h := range parts {
+			for _, oid := range unknown[h] {
+				if !r.hasAddrQuorum(storeOID(oid), h) {
+					return false
+				}
+			}
+		}
+		return true
+	}
 	for attempt := 0; ; attempt++ {
 		if attempt >= 10 {
-			panic(fmt.Sprintf("heron: replica p%d/r%d: no address quorum for object %d from partition %d",
-				r.part, r.rank, oid, h))
+			panic(fmt.Sprintf("heron: replica p%d/r%d: no address quorum for %d objects from partitions %v",
+				r.part, r.rank, len(seen), parts))
 		}
-		for _, info := range r.peers[h] {
-			if info.node == r.node.ID() {
-				continue
-			}
-			if err := r.tr.Send(p, r.node.ID(), info.node, msg); err != nil && !errors.Is(err, rdma.ErrMailboxFull) {
-				continue
+		for _, h := range parts {
+			msg := encodeAddrQuery(&addrQuery{oids: unknown[h]})
+			for _, info := range r.peers[h] {
+				if info.node == r.node.ID() {
+					continue
+				}
+				_ = r.tr.Send(p, r.node.ID(), info.node, msg)
 			}
 		}
-		ok := r.queryCond.WaitUntilTimeout(p, r.cfg.QueryTimeout, func() bool {
-			return r.hasAddrQuorum(oid, h)
-		})
-		if ok {
+		if r.queryCond.WaitUntilTimeout(p, r.cfg.QueryTimeout, resolved) {
 			return
 		}
 	}

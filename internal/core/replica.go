@@ -80,6 +80,12 @@ type Replica struct {
 	statMulti         uint64
 	statSkipped       uint64
 	statStateTransfer uint64
+	// statReadRetries counts posted READ completions that failed (crashed
+	// target, torn slot) and were retried on another coordinated replica.
+	statReadRetries uint64
+	// statPostErrors counts one-sided WRITE postings that failed locally
+	// (crashed issuer, bad region) and were dropped.
+	statPostErrors uint64
 
 	// slow injects an extra delay before each execution (failure
 	// injection: makes this replica a lagger candidate).
@@ -159,6 +165,30 @@ func (r *Replica) Skipped() uint64 { return r.statSkipped }
 
 // StateTransfers returns how many state transfers this replica initiated.
 func (r *Replica) StateTransfers() uint64 { return r.statStateTransfer }
+
+// ReadRetries returns how many posted remote READs failed and were
+// retried on another coordinated replica.
+func (r *Replica) ReadRetries() uint64 { return r.statReadRetries }
+
+// PostWriteErrors returns how many one-sided WRITE postings failed
+// locally and were dropped.
+func (r *Replica) PostWriteErrors() uint64 { return r.statPostErrors }
+
+// notePostError counts a failed one-sided WRITE posting and reports it to
+// the tracer when it implements PostErrorTracer. Posting failures are
+// local (crashed issuer, bad region): remote crashes are silent for
+// unsignaled writes, as on real hardware, and the protocol already
+// tolerates the lost write via majorities — but a failure must at least
+// be countable instead of silently discarded.
+func (r *Replica) notePostError(context string, err error) {
+	if err == nil {
+		return
+	}
+	r.statPostErrors++
+	if pt, ok := r.tracer.(PostErrorTracer); ok {
+		pt.PostWriteError(r.part, r.rank, context, err)
+	}
+}
 
 // LastExecuted returns the timestamp of the last fully executed request.
 func (r *Replica) LastExecuted() multicast.Timestamp { return r.lastExec }
@@ -252,7 +282,7 @@ func (r *Replica) writeCoordination(p *sim.Proc, req *Request, phase uint64) {
 	val := uint64(req.Ts)<<2 | phase
 	off := r.coordOff(r.part, r.rank)
 	for _, h := range req.Dst {
-		for q, info := range r.peers[h] {
+		for _, info := range r.peers[h] {
 			if info.node == r.node.ID() {
 				binary.LittleEndian.PutUint64(r.coordMem.Bytes()[off:off+8], val)
 				r.node.WriteNotify().Broadcast()
@@ -262,8 +292,7 @@ func (r *Replica) writeCoordination(p *sim.Proc, req *Request, phase uint64) {
 			addr.Off += off
 			var buf [8]byte
 			binary.LittleEndian.PutUint64(buf[:], val)
-			_ = r.qp(info.node).PostWrite(p, addr, buf[:])
-			_ = q
+			r.notePostError("coordination", r.qp(info.node).PostWrite(p, addr, buf[:]))
 		}
 	}
 }

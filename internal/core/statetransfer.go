@@ -86,7 +86,7 @@ func (r *Replica) writeStRecord(p *sim.Proc, off int, rec []byte) {
 		}
 		addr := info.stAddr
 		addr.Off += off
-		_ = r.qp(info.node).PostWrite(p, addr, rec)
+		r.notePostError("state-transfer-record", r.qp(info.node).PostWrite(p, addr, rec))
 	}
 }
 
@@ -143,7 +143,7 @@ func (r *Replica) performStateTransfer(p *sim.Proc, laggerRank int, reqTmp uint6
 			}
 			addr := lagger.storeAddr
 			addr.Off += off
-			_ = qp.PostWrite(p, addr, src[off:end])
+			r.notePostError("state-transfer-slots", qp.PostWrite(p, addr, src[off:end]))
 		}
 	}
 
@@ -163,7 +163,7 @@ func (r *Replica) performStateTransfer(p *sim.Proc, laggerRank int, reqTmp uint6
 			}
 			addr := lagger.stageAddr
 			addr.Off += off
-			_ = qp.PostWrite(p, addr, aux[off:end])
+			r.notePostError("state-transfer-aux", qp.PostWrite(p, addr, aux[off:end]))
 		}
 	}
 

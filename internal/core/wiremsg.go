@@ -10,27 +10,39 @@ import (
 
 // Control-plane message kinds (distinct transport from the multicast).
 const (
-	ctlAddrQuery = 1 // executor -> remote replicas: query_obj_addr(oid)
+	ctlAddrQuery = 1 // executor -> remote replicas: query_obj_addr(oids)
 	ctlAddrReply = 2 // remote control proc -> executor
 	ctlResponse  = 3 // replica -> client: request response
 )
 
+// addrQuery asks one replica for the slot addresses of a batch of objects
+// — the whole unknown part of a request's read set travels in one message,
+// so address resolution costs one quorum round per request, not per OID.
 type addrQuery struct {
-	oid uint64
+	oids []uint64
 }
 
 func encodeAddrQuery(q *addrQuery) []byte {
-	w := wire.NewWriter(12)
+	w := wire.NewWriter(8 + 8*len(q.oids))
 	w.U8(ctlAddrQuery)
-	w.U64(q.oid)
+	w.U16(uint16(len(q.oids)))
+	for _, oid := range q.oids {
+		w.U64(oid)
+	}
 	return w.Finish()
 }
 
 func decodeAddrQuery(r *wire.Reader) *addrQuery {
-	return &addrQuery{oid: r.U64()}
+	n := int(r.U16())
+	q := &addrQuery{oids: make([]uint64, 0, n)}
+	for i := 0; i < n && r.Err() == nil; i++ {
+		q.oids = append(q.oids, r.U64())
+	}
+	return q
 }
 
-type addrReply struct {
+// addrEntry is one object's answer within a batched address reply.
+type addrEntry struct {
 	oid     uint64
 	found   bool
 	key     uint32
@@ -38,25 +50,37 @@ type addrReply struct {
 	slotLen uint32
 }
 
+type addrReply struct {
+	entries []addrEntry
+}
+
 func encodeAddrReply(m *addrReply) []byte {
-	w := wire.NewWriter(32)
+	w := wire.NewWriter(8 + 32*len(m.entries))
 	w.U8(ctlAddrReply)
-	w.U64(m.oid)
-	w.Bool(m.found)
-	w.U32(m.key)
-	w.U64(m.off)
-	w.U32(m.slotLen)
+	w.U16(uint16(len(m.entries)))
+	for _, e := range m.entries {
+		w.U64(e.oid)
+		w.Bool(e.found)
+		w.U32(e.key)
+		w.U64(e.off)
+		w.U32(e.slotLen)
+	}
 	return w.Finish()
 }
 
 func decodeAddrReply(r *wire.Reader) *addrReply {
-	return &addrReply{
-		oid:     r.U64(),
-		found:   r.Bool(),
-		key:     r.U32(),
-		off:     r.U64(),
-		slotLen: r.U32(),
+	n := int(r.U16())
+	m := &addrReply{entries: make([]addrEntry, 0, n)}
+	for i := 0; i < n && r.Err() == nil; i++ {
+		m.entries = append(m.entries, addrEntry{
+			oid:     r.U64(),
+			found:   r.Bool(),
+			key:     r.U32(),
+			off:     r.U64(),
+			slotLen: r.U32(),
+		})
 	}
+	return m
 }
 
 type responseMsg struct {
