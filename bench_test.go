@@ -95,7 +95,7 @@ func BenchmarkFig5DynaStar(b *testing.B) {
 // (Figure 6).
 func BenchmarkFig6Breakdown(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := bench.RunFig6(60)
+		res, err := bench.RunFig6(60, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -111,7 +111,7 @@ func BenchmarkFig6Breakdown(b *testing.B) {
 // (Figure 7), reporting New-Order single/multi.
 func BenchmarkFig7TxnLatency(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := bench.RunFig7(4, 80)
+		res, err := bench.RunFig7(4, 80, nil)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -15,8 +15,11 @@
 //
 // Every subcommand accepts -json to emit machine-readable results instead
 // of the formatted table, for experiment runners and trajectory tracking.
-// Each subcommand prints the same rows/series the paper reports; see
-// EXPERIMENTS.md for paper-vs-measured notes.
+// The figure subcommands (fig4-fig7, fanout) also accept -trace out.json
+// to write a Chrome trace_event file of the run's virtual-time spans
+// (load it at ui.perfetto.dev) and -metrics to print an instrument
+// snapshot after the run. Each subcommand prints the same rows/series the
+// paper reports; see EXPERIMENTS.md for paper-vs-measured notes.
 package main
 
 import (
@@ -29,6 +32,7 @@ import (
 	"time"
 
 	"heron/internal/bench"
+	"heron/internal/obs"
 	"heron/internal/sim"
 )
 
@@ -114,12 +118,68 @@ func parseInts(s, what string) ([]int, error) {
 // parseWH parses a comma-separated warehouse list.
 func parseWH(s string) ([]int, error) { return parseInts(s, "warehouse count") }
 
+// obsOpts carries a subcommand's -trace/-metrics flags.
+type obsOpts struct {
+	trace   *string
+	metrics *bool
+}
+
+// addObsFlags registers the observability flags on a subcommand.
+func addObsFlags(fs *flag.FlagSet) *obsOpts {
+	return &obsOpts{
+		trace:   fs.String("trace", "", "write a Chrome trace_event JSON file (load at ui.perfetto.dev)"),
+		metrics: fs.Bool("metrics", false, "print a metrics snapshot after the run"),
+	}
+}
+
+// observer builds the observer the flags imply; nil when both are off, so
+// the benchmarks stay on the zero-cost disabled path.
+func (oo *obsOpts) observer() *obs.Observer {
+	var tr *obs.Tracer
+	var m *obs.Metrics
+	if *oo.trace != "" {
+		tr = obs.NewTracer()
+	}
+	if *oo.metrics {
+		m = obs.NewMetrics()
+	}
+	return obs.New(tr, m)
+}
+
+// finish writes the trace file and prints the metrics snapshot, as
+// requested by the flags. The metrics table goes to stderr so it never
+// corrupts -json output on stdout.
+func (oo *obsOpts) finish(o *obs.Observer) error {
+	if o == nil {
+		return nil
+	}
+	if *oo.trace != "" {
+		f, err := os.Create(*oo.trace)
+		if err != nil {
+			return err
+		}
+		if err := o.Tracer().WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "[trace written to %s]\n", *oo.trace)
+	}
+	if *oo.metrics {
+		fmt.Fprint(os.Stderr, o.Metrics().Snapshot(0).Format())
+	}
+	return nil
+}
+
 func runFig4(args []string) error {
 	fs := flag.NewFlagSet("fig4", flag.ExitOnError)
 	wh := fs.String("wh", "1,2,4,8,16", "comma-separated warehouse counts")
 	clients := fs.Int("clients", 0, "clients per partition (0 = default)")
 	window := fs.Duration("window", 0, "measurement window of virtual time (0 = default)")
 	asJSON := fs.Bool("json", false, "emit machine-readable JSON")
+	oo := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -127,8 +187,12 @@ func runFig4(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := bench.RunFig4(counts, *clients, sim.Duration(*window))
+	o := oo.observer()
+	res, err := bench.RunFig4(counts, *clients, sim.Duration(*window), o)
 	if err != nil {
+		return err
+	}
+	if err := oo.finish(o); err != nil {
 		return err
 	}
 	return emit(res, *asJSON)
@@ -139,6 +203,7 @@ func runFig5(args []string) error {
 	wh := fs.String("wh", "1,2,4,8,16", "comma-separated warehouse counts")
 	window := fs.Duration("window", 0, "measurement window of virtual time (0 = default)")
 	asJSON := fs.Bool("json", false, "emit machine-readable JSON")
+	oo := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -146,8 +211,12 @@ func runFig5(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := bench.RunFig5(counts, sim.Duration(*window))
+	o := oo.observer()
+	res, err := bench.RunFig5(counts, sim.Duration(*window), o)
 	if err != nil {
+		return err
+	}
+	if err := oo.finish(o); err != nil {
 		return err
 	}
 	return emit(res, *asJSON)
@@ -157,11 +226,16 @@ func runFig6(args []string) error {
 	fs := flag.NewFlagSet("fig6", flag.ExitOnError)
 	requests := fs.Int("requests", 400, "requests per workload")
 	asJSON := fs.Bool("json", false, "emit machine-readable JSON")
+	oo := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	res, err := bench.RunFig6(*requests)
+	o := oo.observer()
+	res, err := bench.RunFig6(*requests, o)
 	if err != nil {
+		return err
+	}
+	if err := oo.finish(o); err != nil {
 		return err
 	}
 	return emit(res, *asJSON)
@@ -172,11 +246,16 @@ func runFig7(args []string) error {
 	wh := fs.Int("wh", 4, "warehouses")
 	requests := fs.Int("requests", 400, "requests per transaction type")
 	asJSON := fs.Bool("json", false, "emit machine-readable JSON")
+	oo := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	res, err := bench.RunFig7(*wh, *requests)
+	o := oo.observer()
+	res, err := bench.RunFig7(*wh, *requests, o)
 	if err != nil {
+		return err
+	}
+	if err := oo.finish(o); err != nil {
 		return err
 	}
 	return emit(res, *asJSON)
@@ -245,6 +324,7 @@ func runFanout(args []string) error {
 	targets := fs.Int("targets", 4, "target nodes to stripe objects over")
 	slot := fs.Int("slot", 0, "slot size in bytes (0 = dual-version slot of a 32-byte object)")
 	asJSON := fs.Bool("json", false, "emit machine-readable JSON")
+	oo := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -252,8 +332,12 @@ func runFanout(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := bench.RunFanout(ks, *targets, *slot)
+	o := oo.observer()
+	res, err := bench.RunFanout(ks, *targets, *slot, o)
 	if err != nil {
+		return err
+	}
+	if err := oo.finish(o); err != nil {
 		return err
 	}
 	return emit(res, *asJSON)
@@ -288,15 +372,15 @@ func runAll(args []string) error {
 		name string
 		fn   func() (formatter, error)
 	}{
-		{"fig4", func() (formatter, error) { return bench.RunFig4(counts, 0, window) }},
-		{"fig5", func() (formatter, error) { return bench.RunFig5(counts, window) }},
-		{"fig6", func() (formatter, error) { return bench.RunFig6(requests) }},
-		{"fig7", func() (formatter, error) { return bench.RunFig7(4, requests) }},
+		{"fig4", func() (formatter, error) { return bench.RunFig4(counts, 0, window, nil) }},
+		{"fig5", func() (formatter, error) { return bench.RunFig5(counts, window, nil) }},
+		{"fig6", func() (formatter, error) { return bench.RunFig6(requests, nil) }},
+		{"fig7", func() (formatter, error) { return bench.RunFig7(4, requests, nil) }},
 		{"table1", func() (formatter, error) { return bench.RunTable1(window) }},
 		{"fig8", func() (formatter, error) { return bench.RunFig8(runs, !*quick) }},
 		{"ablation", func() (formatter, error) { return bench.RunCutoffAblation(nil, 0, window) }},
 		{"workers", func() (formatter, error) { return bench.RunWorkerAblation(nil, 2, window) }},
-		{"fanout", func() (formatter, error) { return bench.RunFanout(nil, 0, 0) }},
+		{"fanout", func() (formatter, error) { return bench.RunFanout(nil, 0, 0, nil) }},
 	}
 	type stepResult struct {
 		Step   string

@@ -1,15 +1,21 @@
 // Command heron-trace runs a TPCC workload on Heron and writes a
-// per-request CSV trace to stdout: one row per completed request with its
+// per-request trace to stdout: one row per completed request with its
 // latency split into ordering, coordination, and execution — the raw data
 // behind figures like the paper's Fig. 6, ready for external plotting.
+// The default output is CSV; -json switches to a JSON array for parity
+// with heron-bench. -trace additionally writes a Chrome trace_event file
+// of the run's virtual-time spans, and -metrics prints an instrument
+// snapshot to stderr.
 //
 // Usage:
 //
 //	heron-trace [-wh 4] [-clients 2] [-requests 2000] [-seed 1] [-workers 1]
+//	            [-json] [-trace out.json] [-metrics]
 package main
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +24,7 @@ import (
 	"heron/internal/bench"
 	"heron/internal/core"
 	"heron/internal/multicast"
+	"heron/internal/obs"
 	"heron/internal/sim"
 	"heron/internal/tpcc"
 )
@@ -31,6 +38,18 @@ type row struct {
 	ordering sim.Duration
 	coord    sim.Duration
 	exec     sim.Duration
+}
+
+// jsonRow is the -json rendering of a row, field-compatible with the CSV
+// header (kind, partitions, *_ns).
+type jsonRow struct {
+	Kind        string `json:"kind"`
+	Partitions  int    `json:"partitions"`
+	SubmitNs    int64  `json:"submit_ns"`
+	TotalNs     int64  `json:"total_ns"`
+	OrderingNs  int64  `json:"ordering_ns"`
+	CoordNs     int64  `json:"coordination_ns"`
+	ExecutionNs int64  `json:"execution_ns"`
 }
 
 // collector correlates client submissions with replica traces.
@@ -48,19 +67,32 @@ func main() {
 	requests := flag.Int("requests", 2000, "total requests to trace")
 	seed := flag.Int64("seed", 1, "workload seed")
 	workers := flag.Int("workers", 1, "execution workers per replica (>1 enables the parallel extension)")
+	asJSON := flag.Bool("json", false, "emit a JSON array instead of CSV")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file (load at ui.perfetto.dev)")
+	metrics := flag.Bool("metrics", false, "print a metrics snapshot to stderr after the run")
 	flag.Parse()
 
-	if err := run(*wh, *clients, *requests, *seed, *workers); err != nil {
+	if err := run(*wh, *clients, *requests, *seed, *workers, *asJSON, *tracePath, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "heron-trace:", err)
 		os.Exit(1)
 	}
 }
 
-func run(wh, clientsPerPart, totalRequests int, seed int64, workers int) error {
+func run(wh, clientsPerPart, totalRequests int, seed int64, workers int, asJSON bool, tracePath string, metrics bool) error {
+	var tracer *obs.Tracer
+	var reg *obs.Metrics
+	if tracePath != "" {
+		tracer = obs.NewTracer()
+	}
+	if metrics {
+		reg = obs.NewMetrics()
+	}
+
 	s := sim.NewScheduler()
 	opt := bench.DefaultOptions(wh)
 	opt.Seed = seed
 	opt.ExecWorkers = workers
+	opt.Obs = obs.New(tracer, reg)
 	d, _, err := bench.BuildHeron(s, opt)
 	if err != nil {
 		return err
@@ -122,11 +154,7 @@ func run(wh, clientsPerPart, totalRequests int, seed int64, workers int) error {
 		}
 	}
 
-	out := csv.NewWriter(os.Stdout)
-	defer out.Flush()
-	if err := out.Write([]string{"kind", "partitions", "submit_ns", "total_ns", "ordering_ns", "coordination_ns", "execution_ns"}); err != nil {
-		return err
-	}
+	rows := make([]jsonRow, 0, len(completed))
 	for _, pc := range completed {
 		rec, ok := sinks[pc.home].recs[pc.id]
 		if ok {
@@ -134,18 +162,64 @@ func run(wh, clientsPerPart, totalRequests int, seed int64, workers int) error {
 			pc.r.coord = rec.CoordPhase2 + rec.CoordPhase4
 			pc.r.exec = rec.Exec
 		}
-		err := out.Write([]string{
-			pc.r.kind.String(),
-			strconv.Itoa(pc.r.parts),
-			strconv.FormatInt(int64(pc.r.submit), 10),
-			strconv.FormatInt(int64(pc.r.total), 10),
-			strconv.FormatInt(int64(pc.r.ordering), 10),
-			strconv.FormatInt(int64(pc.r.coord), 10),
-			strconv.FormatInt(int64(pc.r.exec), 10),
+		rows = append(rows, jsonRow{
+			Kind:        pc.r.kind.String(),
+			Partitions:  pc.r.parts,
+			SubmitNs:    int64(pc.r.submit),
+			TotalNs:     int64(pc.r.total),
+			OrderingNs:  int64(pc.r.ordering),
+			CoordNs:     int64(pc.r.coord),
+			ExecutionNs: int64(pc.r.exec),
 		})
+	}
+
+	if asJSON {
+		b, err := json.MarshalIndent(rows, "", "  ")
 		if err != nil {
 			return err
 		}
+		fmt.Println(string(b))
+	} else {
+		out := csv.NewWriter(os.Stdout)
+		if err := out.Write([]string{"kind", "partitions", "submit_ns", "total_ns", "ordering_ns", "coordination_ns", "execution_ns"}); err != nil {
+			return err
+		}
+		for _, r := range rows {
+			err := out.Write([]string{
+				r.Kind,
+				strconv.Itoa(r.Partitions),
+				strconv.FormatInt(r.SubmitNs, 10),
+				strconv.FormatInt(r.TotalNs, 10),
+				strconv.FormatInt(r.OrderingNs, 10),
+				strconv.FormatInt(r.CoordNs, 10),
+				strconv.FormatInt(r.ExecutionNs, 10),
+			})
+			if err != nil {
+				return err
+			}
+		}
+		out.Flush()
+		if err := out.Error(); err != nil {
+			return err
+		}
+	}
+
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := tracer.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "[trace written to %s]\n", tracePath)
+	}
+	if metrics {
+		fmt.Fprint(os.Stderr, reg.Snapshot(s.Now()).Format())
 	}
 	fmt.Fprintf(os.Stderr, "traced %d requests over %.1fms of virtual time\n",
 		len(completed), float64(s.Now())/1e6)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"heron/internal/obs"
 	"heron/internal/rdma"
 	"heron/internal/sim"
 	"heron/internal/store"
@@ -37,7 +38,7 @@ type FanoutResult struct {
 // multi-partition request's read set stripes over partitions). Zero or
 // negative parameters select defaults: sizes {1,2,4,8,16,32}, 4 targets,
 // one dual-version slot of a 32-byte object.
-func RunFanout(sizes []int, targets, slotBytes int) (*FanoutResult, error) {
+func RunFanout(sizes []int, targets, slotBytes int, o *obs.Observer) (*FanoutResult, error) {
 	if len(sizes) == 0 {
 		sizes = []int{1, 2, 4, 8, 16, 32}
 	}
@@ -52,11 +53,11 @@ func RunFanout(sizes []int, targets, slotBytes int) (*FanoutResult, error) {
 		if k <= 0 {
 			return nil, fmt.Errorf("bench: non-positive read-set size %d", k)
 		}
-		syncLat, err := fanoutRun(k, targets, slotBytes, false)
+		syncLat, err := fanoutRun(k, targets, slotBytes, false, o.Scope(fmt.Sprintf("k%d/sync", k)))
 		if err != nil {
 			return nil, err
 		}
-		pipeLat, err := fanoutRun(k, targets, slotBytes, true)
+		pipeLat, err := fanoutRun(k, targets, slotBytes, true, o.Scope(fmt.Sprintf("k%d/pipelined", k)))
 		if err != nil {
 			return nil, err
 		}
@@ -70,9 +71,12 @@ func RunFanout(sizes []int, targets, slotBytes int) (*FanoutResult, error) {
 }
 
 // fanoutRun measures one (read-set size, mode) cell on a fresh fabric.
-func fanoutRun(k, targets, slotBytes int, pipelined bool) (sim.Duration, error) {
+func fanoutRun(k, targets, slotBytes int, pipelined bool, o *obs.Observer) (sim.Duration, error) {
 	s := sim.NewScheduler()
 	f := rdma.NewFabric(s, rdma.DefaultConfig())
+	if o != nil {
+		f.Observe(o)
+	}
 	reader := f.AddNode(0)
 
 	type slotRef struct {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"heron/internal/obs"
 	"heron/internal/sim"
 )
 
@@ -24,7 +25,7 @@ type Fig4Result struct {
 
 // RunFig4 regenerates Figure 4: maximum throughput of RamCast, Heron
 // (null requests), TPCC, and local-only TPCC as partitions scale.
-func RunFig4(warehouseCounts []int, clientsPerPartition int, window sim.Duration) (*Fig4Result, error) {
+func RunFig4(warehouseCounts []int, clientsPerPartition int, window sim.Duration, o *obs.Observer) (*Fig4Result, error) {
 	if len(warehouseCounts) == 0 {
 		warehouseCounts = []int{1, 2, 4, 8, 16}
 	}
@@ -38,8 +39,13 @@ func RunFig4(warehouseCounts []int, clientsPerPartition int, window sim.Duration
 			opt.Window = window
 		}
 		row := Fig4Row{Warehouses: wh}
+		scope := func(series string) *obs.Observer {
+			return o.Scope(fmt.Sprintf("%dWH/%s", wh, series))
+		}
 
-		rc, err := RunRamcast(opt)
+		rcOpt := opt
+		rcOpt.Obs = scope("ramcast")
+		rc, err := RunRamcast(rcOpt)
 		if err != nil {
 			return nil, fmt.Errorf("fig4 ramcast %dWH: %w", wh, err)
 		}
@@ -47,13 +53,16 @@ func RunFig4(warehouseCounts []int, clientsPerPartition int, window sim.Duration
 
 		nullOpt := opt
 		nullOpt.NullRequests = true
+		nullOpt.Obs = scope("null")
 		hn, err := RunHeron(nullOpt)
 		if err != nil {
 			return nil, fmt.Errorf("fig4 heron-null %dWH: %w", wh, err)
 		}
 		row.HeronNull = hn.Throughput
 
-		tp, err := RunHeron(opt)
+		tpOpt := opt
+		tpOpt.Obs = scope("tpcc")
+		tp, err := RunHeron(tpOpt)
 		if err != nil {
 			return nil, fmt.Errorf("fig4 tpcc %dWH: %w", wh, err)
 		}
@@ -61,6 +70,7 @@ func RunFig4(warehouseCounts []int, clientsPerPartition int, window sim.Duration
 
 		localOpt := opt
 		localOpt.LocalOnly = true
+		localOpt.Obs = scope("local")
 		lt, err := RunHeron(localOpt)
 		if err != nil {
 			return nil, fmt.Errorf("fig4 local-tpcc %dWH: %w", wh, err)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"heron/internal/obs"
 	"heron/internal/sim"
 )
 
@@ -27,7 +28,7 @@ type Fig5Result struct {
 
 // RunFig5 regenerates Figure 5: peak throughput and latency of Heron vs
 // DynaStar under TPCC.
-func RunFig5(warehouseCounts []int, window sim.Duration) (*Fig5Result, error) {
+func RunFig5(warehouseCounts []int, window sim.Duration, o *obs.Observer) (*Fig5Result, error) {
 	if len(warehouseCounts) == 0 {
 		warehouseCounts = []int{1, 2, 4, 8, 16}
 	}
@@ -37,6 +38,7 @@ func RunFig5(warehouseCounts []int, window sim.Duration) (*Fig5Result, error) {
 		if window > 0 {
 			opt.Window = window
 		}
+		opt.Obs = o.Scope(fmt.Sprintf("%dWH", wh))
 		h, err := RunHeron(opt)
 		if err != nil {
 			return nil, fmt.Errorf("fig5 heron %dWH: %w", wh, err)

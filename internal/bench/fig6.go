@@ -6,6 +6,7 @@ import (
 
 	"heron/internal/core"
 	"heron/internal/multicast"
+	"heron/internal/obs"
 	"heron/internal/sim"
 	"heron/internal/tpcc"
 )
@@ -37,9 +38,13 @@ func (t *traceSink) RequestDone(part core.PartitionID, rank int, id multicast.Ms
 
 // runFig6Workload measures one single-client workload and splits latency
 // into the paper's three stages using the home-partition rank-0 trace.
-func runFig6Workload(name string, warehouses, fixedParts, requests int) (Fig6Row, error) {
+// Each workload's spans and metrics land under their own observer scope,
+// so the five runs share one trace file without colliding.
+func runFig6Workload(name string, warehouses, fixedParts, requests int, seed int64, o *obs.Observer) (Fig6Row, error) {
 	s := sim.NewScheduler()
 	opt := DefaultOptions(warehouses)
+	opt.Seed = seed
+	opt.Obs = o.Scope(name)
 	d, _, err := BuildHeron(s, opt)
 	if err != nil {
 		return Fig6Row{}, err
@@ -117,19 +122,19 @@ func runFig6Workload(name string, warehouses, fixedParts, requests int) (Fig6Row
 // RunFig6 regenerates Figure 6: the latency breakdown with one client for
 // the TPCC mix plus fixed 1-4 partition New-Order workloads, and the
 // latency CDFs.
-func RunFig6(requests int) (*Fig6Result, error) {
+func RunFig6(requests int, o *obs.Observer) (*Fig6Result, error) {
 	if requests <= 0 {
 		requests = 400
 	}
 	res := &Fig6Result{}
-	row, err := runFig6Workload("Tpcc", 4, 0, requests)
+	row, err := runFig6Workload("Tpcc", 4, 0, requests, 1, o)
 	if err != nil {
 		return nil, err
 	}
 	res.Rows = append(res.Rows, row)
 	for k := 1; k <= 4; k++ {
 		warehouses := 4
-		row, err := runFig6Workload(fmt.Sprintf("%dWH", k), warehouses, k, requests)
+		row, err := runFig6Workload(fmt.Sprintf("%dWH", k), warehouses, k, requests, 1, o)
 		if err != nil {
 			return nil, err
 		}

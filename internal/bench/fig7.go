@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"heron/internal/obs"
 	"heron/internal/sim"
 	"heron/internal/tpcc"
 )
@@ -26,7 +27,7 @@ type Fig7Result struct {
 // RunFig7 regenerates Figure 7: the average latency of each TPCC
 // transaction type, split into single- and multi-partition instances,
 // with one closed-loop client per run.
-func RunFig7(warehouses, requests int) (*Fig7Result, error) {
+func RunFig7(warehouses, requests int, o *obs.Observer) (*Fig7Result, error) {
 	if warehouses <= 0 {
 		warehouses = 4
 	}
@@ -52,6 +53,7 @@ func RunFig7(warehouses, requests int) (*Fig7Result, error) {
 		opt := DefaultOptions(warehouses)
 		opt.ClientsPerPartition = 0 // single client total
 		opt.Mix = mix
+		opt.Obs = o.Scope(fmt.Sprint(kind))
 
 		s := sim.NewScheduler()
 		d, _, err := BuildHeron(s, opt)

@@ -7,6 +7,7 @@ import (
 
 	"heron/internal/core"
 	"heron/internal/multicast"
+	"heron/internal/obs"
 	"heron/internal/rdma"
 	"heron/internal/sim"
 	"heron/internal/store"
@@ -35,6 +36,9 @@ type Options struct {
 	CutoffDelay sim.Duration
 	// ExecWorkers enables the multi-threaded execution extension (>1).
 	ExecWorkers int
+	// Obs attaches the observability layer (span tracing + metrics) to
+	// the deployment; nil leaves instrumentation on the disabled path.
+	Obs *obs.Observer
 }
 
 // DefaultOptions returns throughput-run options for a warehouse count.
@@ -124,6 +128,7 @@ func BuildHeron(s *sim.Scheduler, opt Options) (*core.Deployment, *tpcc.Dataset,
 			return nil, nil, err
 		}
 	}
+	d.Observe(opt.Obs)
 	d.Start()
 	return d, ds, nil
 }

@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"heron/internal/obs"
+)
+
+// fig6Trace runs one small fig6 workload under a fresh observer and
+// returns the serialized Chrome trace and metrics snapshot.
+func fig6Trace(t *testing.T, seed int64) ([]byte, []byte) {
+	t.Helper()
+	tr := obs.NewTracer()
+	m := obs.NewMetrics()
+	o := obs.New(tr, m)
+	if _, err := runFig6Workload("det", 2, 1, 12, seed, o); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := json.Marshal(m.Snapshot(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), snap
+}
+
+// TestTraceDeterminism pins the observability layer's core guarantee:
+// tracing in virtual time is exact, so the same seed yields a
+// byte-identical trace file and metrics snapshot, while a different seed
+// yields a different trace.
+func TestTraceDeterminism(t *testing.T) {
+	trace1, snap1 := fig6Trace(t, 7)
+	trace2, snap2 := fig6Trace(t, 7)
+	if !bytes.Equal(trace1, trace2) {
+		t.Fatalf("same seed produced different traces (%d vs %d bytes)", len(trace1), len(trace2))
+	}
+	if !bytes.Equal(snap1, snap2) {
+		t.Fatalf("same seed produced different metrics snapshots:\n%s\nvs\n%s", snap1, snap2)
+	}
+	trace3, _ := fig6Trace(t, 8)
+	if bytes.Equal(trace1, trace3) {
+		t.Fatal("different seeds produced identical traces")
+	}
+
+	// The trace must also be loadable: valid JSON in the trace_event
+	// object format, with events on registered tracks.
+	var parsed struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(trace1, &parsed); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(parsed.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	phases := map[string]int{}
+	for _, ev := range parsed.TraceEvents {
+		phases[ev.Ph]++
+	}
+	// A run must produce metadata, complete spans (request lifecycle), and
+	// async spans (RDMA verbs).
+	for _, ph := range []string{"M", "X", "b", "e"} {
+		if phases[ph] == 0 {
+			t.Fatalf("trace has no %q events; phases: %v", ph, phases)
+		}
+	}
+}

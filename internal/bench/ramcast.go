@@ -19,6 +19,9 @@ func RunRamcast(opt Options) (*HeronRun, error) {
 	s := sim.NewScheduler()
 	layout := Layout(opt.Warehouses, opt.Replicas)
 	fab := rdma.NewFabric(s, rdma.DefaultConfig())
+	if opt.Obs != nil {
+		fab.Observe(opt.Obs)
+	}
 	for _, group := range layout {
 		for _, id := range group {
 			fab.AddNode(id)
@@ -32,6 +35,7 @@ func RunRamcast(opt Options) (*HeronRun, error) {
 	for g := 0; g < opt.Warehouses; g++ {
 		for r := 0; r < opt.Replicas; r++ {
 			pr := multicast.NewProcess(multicast.OverRDMA(trMC), &cfg, multicast.GroupID(g), r)
+			pr.Observe(opt.Obs)
 			pr.Start(s)
 			g, r, pr := g, r, pr
 			s.Spawn(fmt.Sprintf("echo-g%d-r%d", g, r), func(p *sim.Proc) {

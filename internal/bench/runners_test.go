@@ -12,7 +12,7 @@ import (
 // paper-vs-measured comparison).
 
 func TestFig4Shape(t *testing.T) {
-	res, err := RunFig4([]int{1, 2}, 4, 40*sim.Millisecond)
+	res, err := RunFig4([]int{1, 2}, 4, 40*sim.Millisecond, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +33,7 @@ func TestFig4Shape(t *testing.T) {
 }
 
 func TestFig5Shape(t *testing.T) {
-	res, err := RunFig5([]int{2}, 50*sim.Millisecond)
+	res, err := RunFig5([]int{2}, 50*sim.Millisecond, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +51,7 @@ func TestFig5Shape(t *testing.T) {
 }
 
 func TestFig6Shape(t *testing.T) {
-	res, err := RunFig6(40)
+	res, err := RunFig6(40, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +74,7 @@ func TestFig6Shape(t *testing.T) {
 }
 
 func TestFig7Shape(t *testing.T) {
-	res, err := RunFig7(4, 60)
+	res, err := RunFig7(4, 60, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +199,7 @@ func TestStatsRecorder(t *testing.T) {
 }
 
 func TestFanoutShape(t *testing.T) {
-	res, err := RunFanout([]int{1, 4, 16}, 4, 0)
+	res, err := RunFanout([]int{1, 4, 16}, 4, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,11 +230,11 @@ func TestFanoutShape(t *testing.T) {
 
 // TestFanoutDeterministic: same parameters, identical latencies.
 func TestFanoutDeterministic(t *testing.T) {
-	a, err := RunFanout([]int{8}, 4, 0)
+	a, err := RunFanout([]int{8}, 4, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunFanout([]int{8}, 4, 0)
+	b, err := RunFanout([]int{8}, 4, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -47,13 +47,17 @@ func (r *LatencyRecorder) sortSamples() {
 	}
 }
 
-// Percentile returns the p-th percentile (0 < p <= 100).
+// Percentile returns the p-th percentile (0 < p <= 100) by the
+// nearest-rank rule: the smallest sample such that at least p percent of
+// the samples are <= it, i.e. index ceil(p/100*n)-1. (A truncating index
+// would, e.g., report the 50th percentile of 10 samples as samples[4]
+// with only 40% of the mass below it.)
 func (r *LatencyRecorder) Percentile(p float64) sim.Duration {
 	if len(r.samples) == 0 {
 		return 0
 	}
 	r.sortSamples()
-	idx := int(p/100*float64(len(r.samples))) - 1
+	idx := int(math.Ceil(p/100*float64(len(r.samples)))) - 1
 	if idx < 0 {
 		idx = 0
 	}

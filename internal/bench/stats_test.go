@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"testing"
+
+	"heron/internal/sim"
+)
+
+// TestPercentileNearestRank pins the nearest-rank rule:
+// index = ceil(p/100*n) - 1 over the sorted samples.
+func TestPercentileNearestRank(t *testing.T) {
+	tests := []struct {
+		name    string
+		samples []sim.Duration
+		p       float64
+		want    sim.Duration
+	}{
+		{"p50 of 10 is the 5th sample", seq(10), 50, 5},
+		{"p90 of 10 is the 9th sample", seq(10), 90, 9},
+		{"p99 of 10 rounds up to the 10th", seq(10), 99, 10},
+		{"p100 of 10 is the max", seq(10), 100, 10},
+		{"p1 of 10 rounds up to the 1st", seq(10), 1, 1},
+		{"p50 of 1 is the only sample", seq(1), 50, 1},
+		{"p100 of 1 is the only sample", seq(1), 100, 1},
+		{"p50 of 2 is the lower sample", seq(2), 50, 1},
+		{"p51 of 2 is the upper sample", seq(2), 51, 2},
+		{"p50 of 100 is the 50th", seq(100), 50, 50},
+		{"p95 of 100 is the 95th", seq(100), 95, 95},
+		{"p99 of 100 is the 99th", seq(100), 99, 99},
+		{"p99 of 200 is the 198th", seq(200), 99, 198},
+		{"near-zero percentile is the min", seq(100), 0.0001, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var r LatencyRecorder
+			// Insert in reverse to exercise sorting.
+			for i := len(tt.samples) - 1; i >= 0; i-- {
+				r.Add(tt.samples[i])
+			}
+			if got := r.Percentile(tt.p); got != tt.want {
+				t.Fatalf("Percentile(%v) of %d samples = %v, want %v", tt.p, len(tt.samples), got, tt.want)
+			}
+		})
+	}
+}
+
+// seq returns the samples 1..n ns, so sample values double as 1-based
+// ranks in the assertions.
+func seq(n int) []sim.Duration {
+	out := make([]sim.Duration, n)
+	for i := range out {
+		out[i] = sim.Duration(i + 1)
+	}
+	return out
+}
+
+func TestPercentileEmpty(t *testing.T) {
+	var r LatencyRecorder
+	if got := r.Percentile(50); got != 0 {
+		t.Fatalf("Percentile on empty recorder = %v, want 0", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	var r LatencyRecorder
+	for _, d := range []sim.Duration{30, 10, 20} {
+		r.Add(d)
+	}
+	if r.Min() != 10 || r.Max() != 30 {
+		t.Fatalf("Min/Max = %v/%v, want 10/30", r.Min(), r.Max())
+	}
+}

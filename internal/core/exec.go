@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"heron/internal/obs"
 	"heron/internal/rdma"
 	"heron/internal/sim"
 	"heron/internal/store"
@@ -12,8 +13,9 @@ import (
 // one-sided remote reads with dual-version selection), run the
 // application, apply local writes. It returns ok=false when the replica
 // found itself lagging and ran state transfer instead of completing the
-// request.
-func (r *Replica) execute(p *sim.Proc, req *Request) ([]byte, bool) {
+// request. tk is the caller's span track (the executor's or a worker's).
+func (r *Replica) execute(p *sim.Proc, req *Request, tk *obs.Track) ([]byte, bool) {
+	sp := tk.Begin("execute")
 	readSet := r.app.ReadSet(req)
 	values := make(map[store.OID][]byte, len(readSet))
 	var remote []remoteRead
@@ -40,11 +42,13 @@ func (r *Replica) execute(p *sim.Proc, req *Request) ([]byte, bool) {
 		}
 		values[oid] = val
 	}
-	if len(remote) > 0 && !r.resolveRemote(p, req, remote, values) {
+	if len(remote) > 0 && !r.resolveRemote(p, req, remote, values, tk) {
 		// Lagger: state transfer already ran inside resolveRemote.
+		sp.Arg("lagger", true).End()
 		return nil, false
 	}
 
+	app := tk.Begin("app_execute")
 	ctx := &ExecContext{
 		Req:       req,
 		Partition: r.part,
@@ -74,6 +78,8 @@ func (r *Replica) execute(p *sim.Proc, req *Request) ([]byte, bool) {
 			panic(fmt.Sprintf("heron: replica p%d/r%d: write %d: %v", r.part, r.rank, w.OID, err))
 		}
 	}
+	app.Arg("writes", len(out.Writes)).End()
+	sp.End()
 	return out.Response, true
 }
 
@@ -96,8 +102,9 @@ type remoteRead struct {
 // order, which keeps collection deterministic; on the first object with
 // no version old enough, the replica runs state transfer and reports
 // ok=false (lines 23-25).
-func (r *Replica) resolveRemote(p *sim.Proc, req *Request, reads []remoteRead, values map[store.OID][]byte) bool {
-	r.batchQueryAddrs(p, reads)
+func (r *Replica) resolveRemote(p *sim.Proc, req *Request, reads []remoteRead, values map[store.OID][]byte, tk *obs.Track) bool {
+	fo := tk.Begin("read_fanout").Arg("objects", len(reads))
+	r.batchQueryAddrs(p, reads, tk)
 
 	excluded := make(map[PartitionID]map[rdma.NodeID]bool)
 	exclude := func(h PartitionID, n rdma.NodeID) {
@@ -132,7 +139,7 @@ func (r *Replica) resolveRemote(p *sim.Proc, req *Request, reads []remoteRead, v
 				if !ok {
 					// No coordinated replica with a known address yet; widen
 					// the address map and retry next round.
-					r.batchQueryAddrs(p, []remoteRead{rr})
+					r.batchQueryAddrs(p, []remoteRead{rr}, tk)
 					delete(excluded, rr.part)
 					deferred = append(deferred, rr)
 					continue
@@ -160,12 +167,14 @@ func (r *Replica) resolveRemote(p *sim.Proc, req *Request, reads []remoteRead, v
 		// completions (after the failure timeout), never the batch.
 		cq.WaitAll(p)
 
+		vs := tk.Begin("version_select").Arg("completions", len(posts))
 		pending = deferred
 		for _, po := range posts {
 			if err := po.h.Err(); err != nil {
 				// RDMA exception: remote failure — choose another process
 				// for the failed subset only (lines 20-21).
 				r.statReadRetries++
+				r.obs.readRetries.Inc()
 				exclude(po.rr.part, po.node)
 				pending = append(pending, po.rr)
 				continue
@@ -174,6 +183,7 @@ func (r *Replica) resolveRemote(p *sim.Proc, req *Request, reads []remoteRead, v
 			a, b, derr := store.DecodeSlot(po.h.Data(), maxSize)
 			if derr != nil {
 				r.statReadRetries++
+				r.obs.readRetries.Inc()
 				exclude(po.rr.part, po.node)
 				pending = append(pending, po.rr)
 				continue
@@ -182,16 +192,20 @@ func (r *Replica) resolveRemote(p *sim.Proc, req *Request, reads []remoteRead, v
 			if !chosen {
 				// Both versions are newer than our request: the partition
 				// has moved on without us. We are a lagger (lines 23-25).
+				vs.Arg("lagger", true).End()
 				r.invokeStateTransfer(p, req)
+				fo.Arg("lagger", true).End()
 				return false
 			}
 			values[po.rr.oid] = v.Val
 		}
+		vs.End()
 	}
 	if len(pending) > 0 {
 		panic(fmt.Sprintf("heron: replica p%d/r%d: cannot read %d remote objects, first %d from partition %d (majority unreachable?)",
 			r.part, r.rank, len(pending), pending[0].oid, pending[0].part))
 	}
+	fo.End()
 	return true
 }
 
@@ -252,7 +266,7 @@ func (r *Replica) hasAddrQuorum(oid store.OID, h PartitionID) bool {
 // OID (Algorithm 2, lines 8-13). Replies are recorded by the control
 // process into objMap; queryCond is broadcast on every recorded reply.
 // Send failures are tolerated: the retransmission round resends.
-func (r *Replica) batchQueryAddrs(p *sim.Proc, reads []remoteRead) {
+func (r *Replica) batchQueryAddrs(p *sim.Proc, reads []remoteRead, tk *obs.Track) {
 	// Group unknown OIDs per partition in read-set order (deterministic —
 	// never range over the map when sending).
 	var parts []PartitionID
@@ -274,6 +288,8 @@ func (r *Replica) batchQueryAddrs(p *sim.Proc, reads []remoteRead) {
 	if len(parts) == 0 {
 		return
 	}
+	aq := tk.Begin("addr_resolve").Arg("objects", len(seen))
+	defer aq.End()
 	resolved := func() bool {
 		for _, h := range parts {
 			for _, oid := range unknown[h] {

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+
+	"heron/internal/obs"
+	"heron/internal/sim"
+)
+
+// replicaObs bundles a replica's observability instruments. Every replica
+// holds one; its fields stay nil until observe() runs, and every obs
+// method is a no-op on a nil receiver, so instrumented call sites read
+// straight-line (r.obs.executed.Inc()) and cost a pointer test when
+// observability is disabled.
+type replicaObs struct {
+	o    *obs.Observer
+	proc string // scoped-by-observer process name, e.g. "node3"
+
+	// exec carries the synchronous request-lifecycle spans; ctl carries
+	// the control process's responder-side state-transfer spans.
+	exec *obs.Track
+	ctl  *obs.Track
+
+	// System-wide counters, shared by all replicas through the metrics
+	// registry's name-based deduplication.
+	executed       *obs.Counter
+	multi          *obs.Counter
+	skipped        *obs.Counter
+	stateTransfers *obs.Counter
+	readRetries    *obs.Counter
+	postErrors     *obs.Counter
+}
+
+// observe resolves the replica's instruments against an observer.
+func (r *Replica) observe(o *obs.Observer, s *sim.Scheduler) {
+	if o == nil {
+		return
+	}
+	proc := fmt.Sprintf("node%d", r.node.ID())
+	r.obs = &replicaObs{
+		o:              o,
+		proc:           proc,
+		exec:           o.Track(proc, "exec", s),
+		ctl:            o.Track(proc, "ctl", s),
+		executed:       o.Counter("core/executed"),
+		multi:          o.Counter("core/multi_partition"),
+		skipped:        o.Counter("core/skipped"),
+		stateTransfers: o.Counter("core/state_transfers"),
+		readRetries:    o.Counter("core/read_retries"),
+		postErrors:     o.Counter("core/post_write_errors"),
+	}
+}
+
+// workerTrack registers the span track for one execution worker, so
+// concurrently executing requests render on separate timelines.
+func (ro *replicaObs) workerTrack(idx int, clk obs.Clock) *obs.Track {
+	if ro.o == nil {
+		return nil
+	}
+	return ro.o.Track(ro.proc, fmt.Sprintf("exec-w%d", idx), clk)
+}
+
+// Observe attaches an observability layer to the whole deployment: the
+// RDMA fabric, every replica, and every multicast process. Call it after
+// NewDeployment and before Start. A nil observer is a no-op, leaving the
+// deployment on the zero-cost disabled path.
+func (d *Deployment) Observe(o *obs.Observer) {
+	if o == nil {
+		return
+	}
+	d.Fabric.Observe(o)
+	for g := range d.Replicas {
+		for _, rep := range d.Replicas[g] {
+			rep.observe(o, d.Sched)
+		}
+		for _, mc := range d.MCProcs[g] {
+			mc.Observe(o)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"heron/internal/multicast"
+	"heron/internal/obs"
 	"heron/internal/sim"
 	"heron/internal/store"
 )
@@ -125,23 +126,27 @@ func (pl *execPool) drain(p *sim.Proc) {
 	pl.changed.WaitUntil(p, func() bool { return pl.inflight == 0 })
 }
 
-// runWorker is one execution worker process.
-func (r *Replica) runWorker(pl *execPool, idx int) func(p *sim.Proc) {
+// runWorker is one execution worker process. tk is the worker's own span
+// track, so overlapping requests render on separate timelines.
+func (r *Replica) runWorker(pl *execPool, idx int, tk *obs.Track) func(p *sim.Proc) {
 	return func(p *sim.Proc) {
 		for !r.node.Crashed() {
 			it, ok := pl.queue.Recv(p)
 			if !ok {
 				return
 			}
+			sp := tk.Begin("request").Arg("ts", uint64(it.req.Ts))
 			t0 := p.Now()
-			resp, okExec := r.execute(p, it.req)
+			resp, okExec := r.execute(p, it.req, tk)
 			it.rec.Exec = sim.Duration(p.Now() - t0)
 			if okExec {
 				r.statExecuted++
+				r.obs.executed.Inc()
 				it.rec.Done = p.Now()
 				r.reply(p, it.req, resp)
 				r.trace(it.req, it.rec)
 			}
+			sp.End()
 			pl.complete(it)
 		}
 	}
@@ -153,7 +158,8 @@ func (r *Replica) runParallelExecutor(p *sim.Proc) {
 	pool := newExecPool(r, p.Scheduler())
 	estimator, canEstimate := r.app.(ConflictEstimator)
 	for k := 0; k < r.cfg.ExecWorkers; k++ {
-		p.Scheduler().Spawn(fmt.Sprintf("heron-worker-p%d-r%d-%d", r.part, r.rank, k), r.runWorker(pool, k))
+		wt := r.obs.workerTrack(k, p.Scheduler())
+		p.Scheduler().Spawn(fmt.Sprintf("heron-worker-p%d-r%d-%d", r.part, r.rank, k), r.runWorker(pool, k, wt))
 	}
 	for !r.node.Crashed() {
 		d, ok := r.mc.Deliveries().Recv(p)
@@ -165,6 +171,7 @@ func (r *Replica) runParallelExecutor(p *sim.Proc) {
 		p.Sleep(r.cfg.DispatchCPU)
 		if req.Ts <= r.lastReq {
 			r.statSkipped++
+			r.obs.skipped.Inc()
 			continue
 		}
 		r.lastReq = req.Ts
@@ -191,42 +198,56 @@ func (r *Replica) runParallelExecutor(p *sim.Proc) {
 // processSerial executes one request on the main executor path (shared
 // by the sequential executor and the parallel executor's barrier case).
 func (r *Replica) processSerial(p *sim.Proc, req *Request, rec TraceRecord) {
+	tk := r.obs.exec
 	if !req.MultiPartition() {
+		sp := tk.Begin("request").Arg("ts", uint64(req.Ts))
 		t0 := p.Now()
-		resp, ok := r.execute(p, req)
+		resp, ok := r.execute(p, req, tk)
 		rec.Exec = sim.Duration(p.Now() - t0)
 		if !ok {
+			sp.Arg("lagger", true).End()
 			return
 		}
 		r.lastExec = req.Ts
 		r.statExecuted++
+		r.obs.executed.Inc()
 		rec.Done = p.Now()
 		r.reply(p, req, resp)
 		r.trace(req, rec)
+		sp.End()
 		return
 	}
 
 	r.statMulti++
+	r.obs.multi.Inc()
+	sp := tk.Begin("request").Arg("ts", uint64(req.Ts)).Arg("multi", true)
 	t0 := p.Now()
+	c2 := tk.Begin("coord_phase2")
 	r.writeCoordination(p, req, phaseBefore)
 	r.waitCoordination(p, req, phaseBefore, r.cfg.CutoffPhase2, nil)
+	c2.End()
 	rec.CoordPhase2 = sim.Duration(p.Now() - t0)
 
 	t0 = p.Now()
-	resp, ok := r.execute(p, req)
+	resp, ok := r.execute(p, req, tk)
 	rec.Exec = sim.Duration(p.Now() - t0)
 	if !ok {
+		sp.Arg("lagger", true).End()
 		return
 	}
 	r.lastExec = req.Ts
 
 	t0 = p.Now()
+	c4 := tk.Begin("coord_phase4")
 	r.writeCoordination(p, req, phaseAfter)
 	r.waitCoordination(p, req, phaseAfter, true, &rec)
+	c4.End()
 	rec.CoordPhase4 = sim.Duration(p.Now() - t0)
 
 	r.statExecuted++
+	r.obs.executed.Inc()
 	rec.Done = p.Now()
 	r.reply(p, req, resp)
 	r.trace(req, rec)
+	sp.End()
 }

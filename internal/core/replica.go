@@ -72,6 +72,10 @@ type Replica struct {
 
 	tracer Tracer
 
+	// obs is always non-nil; its instruments are nil (no-op) until
+	// Deployment.Observe installs an observer.
+	obs *replicaObs
+
 	execProc *sim.Proc
 	ctlProc  *sim.Proc
 
@@ -128,6 +132,7 @@ func newReplica(cfg *Config, tr *rdma.Transport, mc *multicast.Process, part Par
 		qps:         make(map[rdma.NodeID]*rdma.QP),
 		objMap:      make(map[objMapKey]objMapEntry),
 		queryCond:   sim.NewCond(tr.Fabric().Scheduler()),
+		obs:         &replicaObs{},
 	}
 	r.coordMem = node.RegisterRegion(len(cfg.Multicast.Groups) * maxN * 8)
 	r.stMem = node.RegisterRegion(len(cfg.Multicast.Groups[part]) * stEntrySize)
@@ -185,6 +190,11 @@ func (r *Replica) notePostError(context string, err error) {
 		return
 	}
 	r.statPostErrors++
+	r.obs.postErrors.Inc()
+	if r.obs.o != nil {
+		// Per-context breakdown, resolved lazily: this is the error path.
+		r.obs.o.Counter("core/post_write_errors/" + context).Inc()
+	}
 	if pt, ok := r.tracer.(PostErrorTracer); ok {
 		pt.PostWriteError(r.part, r.rank, context, err)
 	}
@@ -251,6 +261,7 @@ func (r *Replica) runExecutor(p *sim.Proc) {
 		// Lines 3-4: skip requests covered by a past state transfer.
 		if req.Ts <= r.lastReq {
 			r.statSkipped++
+			r.obs.skipped.Inc()
 			continue
 		}
 		r.lastReq = req.Ts

@@ -20,6 +20,11 @@ func storeOID(v uint64) store.OID { return store.OID(v) }
 // applies any auxiliary state left in its staging region.
 func (r *Replica) invokeStateTransfer(p *sim.Proc, req *Request) {
 	r.statStateTransfer++
+	r.obs.stateTransfers.Inc()
+	// Async span: the lagger may invoke this from a worker process while
+	// other spans are open, so it must not require strict nesting.
+	sp := r.obs.exec.BeginAsync("st", "state_transfer").Arg("ts", uint64(req.Ts))
+	defer sp.End()
 	rec := encodeStEntry(stEntry{reqTmp: uint64(req.Ts), status: stRequested})
 	off := r.rank * stEntrySize
 	r.writeStRecord(p, off, rec)
@@ -51,6 +56,9 @@ func (r *Replica) invokeStateTransfer(p *sim.Proc, req *Request) {
 // responder for every registered slot and a full auxiliary snapshot.
 func (r *Replica) RequestFullStateTransfer(p *sim.Proc) {
 	r.statStateTransfer++
+	r.obs.stateTransfers.Inc()
+	sp := r.obs.exec.BeginAsync("st", "full_state_transfer")
+	defer sp.End()
 	rec := encodeStEntry(stEntry{reqTmp: 0, status: stRequested})
 	off := r.rank * stEntrySize
 	r.writeStRecord(p, off, rec)
@@ -105,6 +113,9 @@ const (
 // claim narrows the window in which a timed-out backup responder could
 // overlap with a live one and land stale data after the first completion.
 func (r *Replica) performStateTransfer(p *sim.Proc, laggerRank int, reqTmp uint64) {
+	sp := r.obs.ctl.BeginAsync("st", "state_transfer_respond").
+		Arg("lagger", laggerRank).Arg("req_tmp", reqTmp)
+	defer sp.End()
 	lagger := r.peers[r.part][laggerRank]
 
 	// Claim the request on every replica (including the watchers).

@@ -3,6 +3,7 @@ package multicast
 import (
 	"fmt"
 
+	"heron/internal/obs"
 	"heron/internal/rdma"
 	"heron/internal/sim"
 )
@@ -100,6 +101,29 @@ type Process struct {
 	// Stats counters (read by benchmarks).
 	statDelivered uint64
 	statHandled   uint64
+
+	// Observability (all nil until Observe; every use is nil-safe).
+	obsTrack       *obs.Track
+	obsOrderLat    *obs.Histogram
+	obsDelivered   *obs.Counter
+	obsViewChanges *obs.Counter
+	obsFirstSeen   map[MsgID]sim.Time
+	vcSpan         *obs.Span
+}
+
+// Observe attaches observability instruments: the ordering-latency
+// histogram (client submission first seen here → delivery), the delivered
+// counter, the pending-queue depth counter track, and view-change spans.
+// Latency and counters are per group, shared by the group's replicas.
+func (pr *Process) Observe(o *obs.Observer) {
+	if o == nil {
+		return
+	}
+	pr.obsTrack = o.Track(fmt.Sprintf("node%d", pr.id), "mcast", pr.tr.Scheduler())
+	pr.obsOrderLat = o.Histogram(fmt.Sprintf("mc/g%d/order_latency", pr.group))
+	pr.obsDelivered = o.Counter(fmt.Sprintf("mc/g%d/delivered", pr.group))
+	pr.obsViewChanges = o.Counter(fmt.Sprintf("mc/g%d/view_changes", pr.group))
+	pr.obsFirstSeen = make(map[MsgID]sim.Time)
 }
 
 // NewProcess creates the multicast replica for (group, rank) of the
@@ -262,6 +286,7 @@ func (pr *Process) tick(p *sim.Proc) {
 	case roleCandidate:
 		if now >= pr.vcDeadline {
 			// Candidacy failed; fall back and let the next rank try.
+			pr.vcSpan.End()
 			pr.role = roleFollower
 			pr.leaderDeadline = now + sim.Time(pr.cfg.LeaderTimeout)
 			pr.suspectNext(p)
@@ -356,6 +381,11 @@ func (pr *Process) handle(p *sim.Proc, datagram []byte, from rdma.NodeID) {
 func (pr *Process) onClient(p *sim.Proc, m *clientMsg) {
 	if pr.committed[m.id] || pr.pending[m.id] != nil {
 		return
+	}
+	if pr.obsFirstSeen != nil {
+		if _, seen := pr.obsFirstSeen[m.id]; !seen {
+			pr.obsFirstSeen[m.id] = p.Now()
+		}
 	}
 	if pr.role == roleLeader {
 		pr.propose(p, m)
@@ -515,6 +545,7 @@ func (pr *Process) mergeRemoteProps(pend *pendingMsg) {
 // application, enforcing timestamp monotonicity (a violated invariant is
 // a protocol bug, surfaced loudly).
 func (pr *Process) deliverCommitted() {
+	progressed := false
 	for pr.delivered < pr.commitIdx {
 		e := pr.log[pr.delivered-pr.logBase]
 		if e.ts <= pr.lastDeliveredTs {
@@ -525,5 +556,18 @@ func (pr *Process) deliverCommitted() {
 		pr.out.Send(Delivery{ID: e.id, Ts: e.ts, Dst: e.dst, Payload: e.payload})
 		pr.delivered++
 		pr.statDelivered++
+		progressed = true
+		pr.obsDelivered.Inc()
+		if pr.obsFirstSeen != nil {
+			if t0, seen := pr.obsFirstSeen[e.id]; seen {
+				pr.obsOrderLat.Observe(sim.Duration(pr.tr.Scheduler().Now() - t0))
+				delete(pr.obsFirstSeen, e.id)
+			}
+		}
+	}
+	if progressed {
+		// Pending-queue depth over virtual time, rendered as a counter
+		// series in the trace viewer.
+		pr.obsTrack.Count("mc_pending", float64(len(pr.pending)))
 	}
 }

@@ -26,6 +26,11 @@ func (pr *Process) suspectNext(p *sim.Proc) {
 // startCandidacy requests view v from all group members and waits for a
 // quorum of view states.
 func (pr *Process) startCandidacy(p *sim.Proc, v uint64) {
+	pr.obsViewChanges.Inc()
+	pr.vcSpan.End() // close any earlier, failed candidacy span
+	if pr.obsTrack != nil {
+		pr.vcSpan = pr.obsTrack.BeginAsync("mc", "view_change").Arg("view", v)
+	}
 	pr.role = roleCandidate
 	pr.vcView = v
 	pr.votedView = v
@@ -104,6 +109,7 @@ func (pr *Process) maybeAdopt(p *sim.Proc) {
 // (lastAcceptedView, log length); pendings are unioned freshest-first;
 // everything is re-replicated so all members converge.
 func (pr *Process) adopt(p *sim.Proc) {
+	pr.vcSpan.Arg("won", true).End()
 	states := make([]*viewState, 0, len(pr.vcStates))
 	for _, st := range pr.vcStates {
 		states = append(states, st)

@@ -3,6 +3,7 @@ package rdma
 import (
 	"fmt"
 
+	"heron/internal/obs"
 	"heron/internal/sim"
 )
 
@@ -29,6 +30,9 @@ type ReadHandle struct {
 	err    error
 	done   bool
 	seq    int // posting order within the CQ, for deterministic reporting
+
+	// sp is the post→completion trace span (nil when tracing is off).
+	sp *obs.Span
 }
 
 // Addr returns the remote address the READ targeted.
@@ -86,6 +90,10 @@ func (cq *CQ) Outstanding() int { return cq.outstanding }
 // complete delivers one completion.
 func (cq *CQ) complete(h *ReadHandle, buf []byte, err error) {
 	h.buf, h.err, h.done = buf, err, true
+	if err != nil {
+		h.sp.Arg("err", err.Error())
+	}
+	h.sp.End()
 	cq.outstanding--
 	cq.completed = append(cq.completed, h)
 	cq.cond.Broadcast()
@@ -139,6 +147,11 @@ func (q *QP) PostRead(p *sim.Proc, cq *CQ, addr Addr, length int) (*ReadHandle, 
 	if q.remote.crashed {
 		cq.nextSeq++
 		cq.outstanding++
+		if io := q.o(); io != nil {
+			io.readOps.Inc()
+			h.sp = io.track.BeginAsync("rdma", "post_read").
+				Arg("to", int(q.remote.id)).Arg("bytes", length)
+		}
 		q.sched.At(posted+sim.Time(q.cfg.FailureTimeout), func() {
 			cq.complete(h, nil, fmt.Errorf("%w: node %d", ErrRemoteFailure, q.remote.id))
 		})
@@ -151,7 +164,13 @@ func (q *QP) PostRead(p *sim.Proc, cq *CQ, addr Addr, length int) (*ReadHandle, 
 	}
 	cq.nextSeq++
 	cq.outstanding++
-	done := q.completionTime(q.cfg.ReadBase, length)
+	done, wait := q.completionTime(q.cfg.ReadBase, length)
+	if io := q.o(); io != nil {
+		io.readOps.Inc()
+		io.readBytes.Add(uint64(length))
+		h.sp = io.track.BeginAsync("rdma", "post_read").
+			Arg("to", int(q.remote.id)).Arg("bytes", length).Arg("nic_wait_ns", int64(wait))
+	}
 	q.sched.At(done, func() {
 		if q.remote.crashed {
 			// Crash raced the DMA: this operation — and only this one —

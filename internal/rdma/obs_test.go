@@ -1,0 +1,137 @@
+package rdma
+
+import (
+	"testing"
+
+	"heron/internal/obs"
+	"heron/internal/sim"
+)
+
+// TestObserveCountsVerbs checks that per-QP counters, the nic-wait
+// histogram and the verb spans are populated when a fabric is observed.
+func TestObserveCountsVerbs(t *testing.T) {
+	s, f, _, b := testFabric(t)
+	m := obs.NewMetrics()
+	tr := obs.NewTracer()
+	f.Observe(obs.New(tr, m))
+
+	reg := b.RegisterRegion(64)
+	qp := f.Connect(1, 2)
+	s.Spawn("ops", func(p *sim.Proc) {
+		if _, err := qp.Read(p, reg.Addr(0), 16); err != nil {
+			t.Errorf("Read: %v", err)
+		}
+		if err := qp.Write(p, reg.Addr(0), make([]byte, 8)); err != nil {
+			t.Errorf("Write: %v", err)
+		}
+		if _, err := qp.CompareAndSwap(p, reg.Addr(0), 99, 1); err != nil {
+			t.Errorf("CAS: %v", err) // expect 0 != 99: compare fails, no error
+		}
+		cq := f.Node(1).NewCQ()
+		if _, err := qp.PostRead(p, cq, reg.Addr(0), 32); err != nil {
+			t.Errorf("PostRead: %v", err)
+		}
+		cq.WaitAll(p)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	want := map[string]uint64{
+		"rdma/qp/n1->n2/read_ops":   2, // Read + PostRead
+		"rdma/qp/n1->n2/read_bytes": 48,
+		"rdma/qp/n1->n2/write_ops":  1,
+		"rdma/qp/n1->n2/cas_ops":    1,
+		"rdma/qp/n1->n2/cas_fail":   1,
+		"rdma/cas_fail":             1,
+	}
+	for name, v := range want {
+		if got := m.Counter(name).Value(); got != v {
+			t.Errorf("%s = %d, want %d", name, got, v)
+		}
+	}
+	if m.Histogram("rdma/n1/nic_wait").Count() == 0 {
+		t.Error("nic_wait histogram empty")
+	}
+
+	// Every verb span must be an async begin/end pair on node1's track.
+	begins, ends := 0, 0
+	for _, ev := range tr.Events() {
+		switch ev.Phase {
+		case obs.PhaseAsyncBegin:
+			begins++
+		case obs.PhaseAsyncEnd:
+			ends++
+		}
+	}
+	if begins != 4 || ends != 4 {
+		t.Errorf("async span events = %d begins / %d ends, want 4/4", begins, ends)
+	}
+}
+
+// TestCrashedTargetIncrementsDropCounter checks the satellite-3 contract:
+// a PostWrite to a crashed target is silent to the caller but increments
+// the rdma/write_dropped counter in the metrics registry.
+func TestCrashedTargetIncrementsDropCounter(t *testing.T) {
+	s, f, _, b := testFabric(t)
+	m := obs.NewMetrics()
+	f.Observe(obs.New(nil, m))
+
+	reg := b.RegisterRegion(64)
+	qp := f.Connect(1, 2)
+	b.Crash()
+	s.Spawn("writer", func(p *sim.Proc) {
+		if err := qp.PostWrite(p, reg.Addr(0), []byte("lost")); err != nil {
+			t.Errorf("PostWrite to crashed target should be silent, got %v", err)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Counter("rdma/write_dropped").Value(); got != 1 {
+		t.Fatalf("rdma/write_dropped = %d, want 1", got)
+	}
+}
+
+// TestCrashRacingDMAIncrementsDropCounter covers the other drop path: the
+// target crashes after the write is posted but before the DMA commits.
+func TestCrashRacingDMAIncrementsDropCounter(t *testing.T) {
+	s, f, _, b := testFabric(t)
+	m := obs.NewMetrics()
+	f.Observe(obs.New(nil, m))
+
+	reg := b.RegisterRegion(64)
+	qp := f.Connect(1, 2)
+	s.Spawn("writer", func(p *sim.Proc) {
+		if err := qp.PostWrite(p, reg.Addr(0), []byte("lost")); err != nil {
+			t.Errorf("PostWrite: %v", err)
+		}
+	})
+	// Crash strictly after posting (PostOverhead) but before WriteBase.
+	s.At(sim.Time(200*sim.Nanosecond), func() { b.Crash() })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Counter("rdma/write_dropped").Value(); got != 1 {
+		t.Fatalf("rdma/write_dropped = %d, want 1", got)
+	}
+}
+
+// TestUnobservedFabricHasNoInstruments guards the disabled path: with no
+// observer attached, verbs run and resolve no instruments.
+func TestUnobservedFabricHasNoInstruments(t *testing.T) {
+	s, f, _, b := testFabric(t)
+	reg := b.RegisterRegion(64)
+	qp := f.Connect(1, 2)
+	s.Spawn("ops", func(p *sim.Proc) {
+		if _, err := qp.Read(p, reg.Addr(0), 8); err != nil {
+			t.Errorf("Read: %v", err)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if qp.io != nil || f.Node(1).io != nil {
+		t.Fatal("instruments resolved without an observer")
+	}
+}

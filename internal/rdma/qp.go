@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"heron/internal/obs"
 	"heron/internal/sim"
 )
 
@@ -15,6 +16,45 @@ type QP struct {
 	remote *Node
 	cfg    *Config
 	sched  *sim.Scheduler
+
+	// io holds lazily resolved per-QP instruments; nil while disabled.
+	io *qpObs
+}
+
+// qpObs bundles a QP's observability instruments: per-QP verb counts and
+// bytes, plus fabric-wide failure counters (shared across QPs through the
+// metrics registry's name-based deduplication).
+type qpObs struct {
+	track *obs.Track // issuing node's "nic" thread
+
+	readOps, readBytes   *obs.Counter
+	writeOps, writeBytes *obs.Counter
+	casOps, casFail      *obs.Counter
+	sendOps              *obs.Counter
+	writeDropped         *obs.Counter // fabric-wide "rdma/write_dropped"
+	casFailTotal         *obs.Counter // fabric-wide "rdma/cas_fail"
+}
+
+// o resolves (once) the QP's instruments, returning nil while
+// observability is disabled.
+func (q *QP) o() *qpObs {
+	if q.io == nil && q.local.fabric.obs != nil {
+		ob := q.local.fabric.obs
+		qp := fmt.Sprintf("rdma/qp/n%d->n%d/", q.local.id, q.remote.id)
+		q.io = &qpObs{
+			track:        q.local.o().track,
+			readOps:      ob.Counter(qp + "read_ops"),
+			readBytes:    ob.Counter(qp + "read_bytes"),
+			writeOps:     ob.Counter(qp + "write_ops"),
+			writeBytes:   ob.Counter(qp + "write_bytes"),
+			casOps:       ob.Counter(qp + "cas_ops"),
+			casFail:      ob.Counter(qp + "cas_fail"),
+			sendOps:      ob.Counter(qp + "send_ops"),
+			writeDropped: ob.Counter("rdma/write_dropped"),
+			casFailTotal: ob.Counter("rdma/cas_fail"),
+		}
+	}
+	return q.io
 }
 
 // Connect creates a queue pair from node a to node b. Both nodes must
@@ -46,12 +86,19 @@ func (q *QP) region(addr Addr, length int) (*Region, error) {
 }
 
 // completionTime computes when a verb of the given payload size completes,
-// charging occupancy on both NICs and the base verb latency.
-func (q *QP) completionTime(base sim.Duration, size int) sim.Time {
+// charging occupancy on both NICs and the base verb latency. The second
+// result is the occupancy wait: how long the verb queued behind earlier
+// verbs before either NIC began serving it (0 when both were idle). The
+// wait feeds the issuing node's nic_wait histogram when observed.
+func (q *QP) completionTime(base sim.Duration, size int) (sim.Time, sim.Duration) {
 	now := q.sched.Now()
 	start := q.local.nic.admit(now, q.cfg, size)
 	start = q.remote.nic.admit(start, q.cfg, size)
-	return start + sim.Time(base) + sim.Time(float64(size)/q.cfg.BytesPerNS)
+	wait := sim.Duration(start - now)
+	if io := q.local.o(); io != nil {
+		io.nicWait.Observe(wait)
+	}
+	return start + sim.Time(base) + sim.Time(float64(size)/q.cfg.BytesPerNS), wait
 }
 
 // failRemote blocks the issuer for the failure timeout and returns the
@@ -84,12 +131,20 @@ func (q *QP) Read(p *sim.Proc, addr Addr, length int) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	done := q.completionTime(q.cfg.ReadBase, length)
+	done, wait := q.completionTime(q.cfg.ReadBase, length)
+	var sp *obs.Span
+	if io := q.o(); io != nil {
+		io.readOps.Inc()
+		io.readBytes.Add(uint64(length))
+		sp = io.track.BeginAsync("rdma", "read").
+			Arg("to", int(q.remote.id)).Arg("bytes", length).Arg("nic_wait_ns", int64(wait))
+	}
 	// Snapshot at completion: commit event runs before the wake event
 	// scheduled below (same instant, lower sequence number).
 	buf := make([]byte, length)
 	failed := false
 	q.sched.At(done, func() {
+		defer sp.End()
 		if q.remote.crashed {
 			failed = true
 			return
@@ -135,7 +190,13 @@ func (q *QP) PostWrite(p *sim.Proc, addr Addr, data []byte) error {
 	}
 	if q.remote.crashed {
 		// Posting succeeds on real hardware; the completion error is
-		// asynchronous. Model as a silently dropped write.
+		// asynchronous. Model as a silently dropped write — silent to the
+		// protocol, but visible in metrics so crashed-target traffic can
+		// be diagnosed from a -metrics snapshot.
+		if io := q.o(); io != nil {
+			io.writeOps.Inc()
+			io.writeDropped.Inc()
+		}
 		p.Sleep(q.cfg.PostOverhead)
 		return nil
 	}
@@ -153,11 +214,24 @@ func (q *QP) post(addr Addr, data []byte) (sim.Time, error) {
 	if err != nil {
 		return 0, err
 	}
-	done := q.completionTime(q.cfg.WriteBase, len(data))
+	done, wait := q.completionTime(q.cfg.WriteBase, len(data))
+	io := q.o()
+	var sp *obs.Span
+	if io != nil {
+		io.writeOps.Inc()
+		io.writeBytes.Add(uint64(len(data)))
+		sp = io.track.BeginAsync("rdma", "write").
+			Arg("to", int(q.remote.id)).Arg("bytes", len(data)).Arg("nic_wait_ns", int64(wait))
+	}
 	buf := make([]byte, len(data))
 	copy(buf, data)
 	q.sched.At(done, func() {
+		defer sp.End()
 		if q.remote.crashed {
+			if io != nil {
+				// Crash raced the DMA: the payload never landed.
+				io.writeDropped.Inc()
+			}
 			return
 		}
 		copy(reg.buf[addr.Off:addr.Off+len(buf)], buf)
@@ -183,10 +257,18 @@ func (q *QP) CompareAndSwap(p *sim.Proc, addr Addr, expect, swap uint64) (uint64
 	if addr.Off%8 != 0 {
 		return 0, fmt.Errorf("%w: %v", ErrCASMisaligned, addr)
 	}
-	done := q.completionTime(q.cfg.CASBase, 8)
+	done, wait := q.completionTime(q.cfg.CASBase, 8)
+	io := q.o()
+	var sp *obs.Span
+	if io != nil {
+		io.casOps.Inc()
+		sp = io.track.BeginAsync("rdma", "cas").
+			Arg("to", int(q.remote.id)).Arg("nic_wait_ns", int64(wait))
+	}
 	var prev uint64
 	failed := false
 	q.sched.At(done, func() {
+		defer sp.End()
 		if q.remote.crashed {
 			failed = true
 			return
@@ -196,6 +278,11 @@ func (q *QP) CompareAndSwap(p *sim.Proc, addr Addr, expect, swap uint64) (uint64
 		if prev == expect {
 			binary.LittleEndian.PutUint64(word, swap)
 			q.remote.writeNotify.Broadcast()
+		} else if io != nil {
+			// The compare failed: another writer won the slot.
+			io.casFail.Inc()
+			io.casFailTotal.Inc()
+			sp.Arg("lost", true)
 		}
 	})
 	p.Sleep(sim.Duration(done - p.Now()))
@@ -217,7 +304,10 @@ func (q *QP) Send(p *sim.Proc, payload any) error {
 		p.Sleep(q.cfg.PostOverhead)
 		return nil // silently dropped, like an unacked datagram
 	}
-	done := q.completionTime(q.cfg.SendBase, 64)
+	if io := q.o(); io != nil {
+		io.sendOps.Inc()
+	}
+	done, _ := q.completionTime(q.cfg.SendBase, 64)
 	msg := Message{From: q.local.id, Payload: payload}
 	q.sched.At(done, func() {
 		if !q.remote.crashed {

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 
+	"heron/internal/obs"
 	"heron/internal/sim"
 )
 
@@ -103,6 +104,7 @@ type Fabric struct {
 	sched *sim.Scheduler
 	cfg   Config
 	nodes map[NodeID]*Node
+	obs   *obs.Observer
 }
 
 // NewFabric creates a fabric over the given scheduler.
@@ -118,6 +120,13 @@ func (f *Fabric) Scheduler() *sim.Scheduler { return f.sched }
 
 // Config returns the fabric's latency model.
 func (f *Fabric) Config() Config { return f.cfg }
+
+// Observe attaches an observability layer to the fabric. Instruments are
+// resolved lazily per node and per QP on first use, so Observe may be
+// called before or after nodes are added and QPs connected. A nil
+// observer (the default) keeps every verb's instrumentation down to a
+// pointer test.
+func (f *Fabric) Observe(o *obs.Observer) { f.obs = o }
 
 // AddNode registers a node (one NIC) on the fabric. Adding the same id
 // twice panics: node identity is a static configuration error.
@@ -173,6 +182,31 @@ type Node struct {
 
 	// inbox receives two-sided SENDs (control plane only).
 	inbox *sim.Chan[Message]
+
+	// io holds lazily resolved observability instruments; nil until the
+	// fabric has an observer and the node issues its first verb.
+	io *nodeObs
+}
+
+// nodeObs bundles a node's observability instruments. The track shares
+// the node's process group with the protocol layer (thread "nic"), so
+// in-flight verbs render alongside the request lifecycle in the trace.
+type nodeObs struct {
+	track   *obs.Track
+	nicWait *obs.Histogram
+}
+
+// o resolves (once) the node's instruments, returning nil while
+// observability is disabled.
+func (n *Node) o() *nodeObs {
+	if n.io == nil && n.fabric.obs != nil {
+		ob := n.fabric.obs
+		n.io = &nodeObs{
+			track:   ob.Track(fmt.Sprintf("node%d", n.id), "nic", n.fabric.sched),
+			nicWait: ob.Histogram(fmt.Sprintf("rdma/n%d/nic_wait", n.id)),
+		}
+	}
+	return n.io
 }
 
 // ID returns the node id.
