@@ -11,6 +11,7 @@
 //	heron-bench table1  [-window 150ms]
 //	heron-bench ablation
 //	heron-bench fanout  [-sizes 1,2,4,8,16,32] [-targets 4] [-slot 96]
+//	heron-bench chaos   [-schedules 5] [-seed 1] [-profile churn]
 //	heron-bench all     [-quick]
 //
 // Every subcommand accepts -json to emit machine-readable results instead
@@ -64,6 +65,8 @@ func main() {
 		err = runWorkers(args)
 	case "fanout":
 		err = runFanout(args)
+	case "chaos":
+		err = runChaosCmd(args)
 	case "all":
 		err = runAll(args)
 	default:
@@ -78,7 +81,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: heron-bench {fig4|fig5|fig6|fig7|fig8|table1|ablation|workers|fanout|all} [flags] [-json]")
+	fmt.Fprintln(os.Stderr, "usage: heron-bench {fig4|fig5|fig6|fig7|fig8|table1|ablation|workers|fanout|chaos|all} [flags] [-json]")
 }
 
 // formatter is any experiment result renderable as a text table.
@@ -341,6 +344,33 @@ func runFanout(args []string) error {
 		return err
 	}
 	return emit(res, *asJSON)
+}
+
+func runChaosCmd(args []string) error {
+	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
+	schedules := fs.Int("schedules", 5, "number of seeded fault schedules to sweep")
+	seed := fs.Int64("seed", 1, "base seed; schedule i uses seed+i")
+	profile := fs.String("profile", "", "fault profile: churn, partitions, slownic, mixed, overload (empty = rotate)")
+	asJSON := fs.Bool("json", false, "emit machine-readable JSON")
+	oo := addObsFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	o := oo.observer()
+	res, err := bench.RunChaos(*schedules, *seed, *profile, o)
+	if err != nil {
+		return err
+	}
+	if err := oo.finish(o); err != nil {
+		return err
+	}
+	if err := emit(res, *asJSON); err != nil {
+		return err
+	}
+	if !res.AllLinearizable() {
+		return fmt.Errorf("a schedule failed verification (see output)")
+	}
+	return nil
 }
 
 func runAll(args []string) error {

@@ -1,0 +1,162 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"heron/internal/lincheck"
+	"heron/internal/store"
+)
+
+// runProfile generates and runs one schedule with default options.
+func runProfile(t *testing.T, profile string, seed int64) *Report {
+	t.Helper()
+	opt := DefaultOptions()
+	sc, err := Generate(profile, seed, opt.Partitions, opt.Replicas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Schedule = sc
+	rep, err := Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestGenerateDeterministic: the same (profile, seed, topology) must
+// produce identical schedules.
+func TestGenerateDeterministic(t *testing.T) {
+	for _, profile := range append(append([]string{}, Profiles...), "overload") {
+		a, err := Generate(profile, 42, 2, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := Generate(profile, 42, 2, 3)
+		if fmt.Sprintf("%+v", a) != fmt.Sprintf("%+v", b) {
+			t.Fatalf("profile %s: schedules differ for the same seed", profile)
+		}
+		if len(a.Events) == 0 {
+			t.Fatalf("profile %s: empty schedule", profile)
+		}
+	}
+	a, _ := Generate("churn", 1, 2, 3)
+	b, _ := Generate("churn", 2, 2, 3)
+	if fmt.Sprintf("%+v", a.Events) == fmt.Sprintf("%+v", b.Events) {
+		t.Fatal("different seeds produced identical churn schedules")
+	}
+}
+
+// TestRunDeterministic: the same seed and options must produce a
+// byte-identical JSON report across two full runs — the replay guarantee
+// that makes chaos failures debuggable.
+func TestRunDeterministic(t *testing.T) {
+	enc := func() []byte {
+		rep := runProfile(t, "churn", 7)
+		b, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := enc(), enc()
+	if string(a) != string(b) {
+		t.Fatalf("same seed produced different reports:\n%s\n%s", a, b)
+	}
+}
+
+// TestChurnWithinFaultBoundLinearizes: crash-recovery churn that never
+// exceeds f simultaneous crashes per partition must complete every
+// operation and pass the linearizability check.
+func TestChurnWithinFaultBoundLinearizes(t *testing.T) {
+	for _, seed := range []int64{1, 5, 9} {
+		rep := runProfile(t, "churn", seed)
+		if rep.Err != "" {
+			t.Fatalf("seed %d: %s", seed, rep.Err)
+		}
+		if rep.Crashes == 0 || rep.Recoveries != rep.Crashes {
+			t.Fatalf("seed %d: %d crashes, %d recoveries — schedule did not exercise recovery",
+				seed, rep.Crashes, rep.Recoveries)
+		}
+		if !rep.Checked || !rep.Linearizable {
+			t.Fatalf("seed %d: history not linearizable (checked=%v): %+v", seed, rep.Checked, rep)
+		}
+	}
+}
+
+// TestPartitionsAndSlowNICLinearize: rolling single-link partitions and
+// slow-NIC windows never remove a majority, so every operation must
+// complete and linearize.
+func TestPartitionsAndSlowNICLinearize(t *testing.T) {
+	for _, profile := range []string{"partitions", "slownic", "mixed"} {
+		rep := runProfile(t, profile, 3)
+		if rep.Err != "" {
+			t.Fatalf("%s: %s", profile, rep.Err)
+		}
+		if !rep.Checked || !rep.Linearizable {
+			t.Fatalf("%s: history not linearizable: %+v", profile, rep)
+		}
+	}
+}
+
+// TestHarnessModelRejectsViolations guards against a vacuous verdict: the
+// exact model the harness submits to the checker must reject fabricated
+// stale-read and lost-update histories. If this fails, every
+// "linearizable: true" the chaos sweep ever printed was meaningless.
+func TestHarnessModelRejectsViolations(t *testing.T) {
+	oid := kvOID(0, 0)
+	rmw := func(add uint64) *kvReq {
+		return &kvReq{reads: []store.OID{oid}, writes: []store.OID{oid}, add: add}
+	}
+	read := func() *kvReq { return &kvReq{reads: []store.OID{oid}, add: 0} }
+
+	stale := []lincheck.Operation{
+		{ClientID: 0, Input: rmw(5), Output: uint64(5), Call: 0, Return: 1},
+		{ClientID: 1, Input: read(), Output: uint64(0), Call: 2, Return: 3}, // misses the write
+	}
+	if ok, err := lincheck.Check(kvModel(), stale); err != nil || ok {
+		t.Fatalf("stale read accepted by the harness model: ok=%v err=%v", ok, err)
+	}
+
+	lost := []lincheck.Operation{
+		{ClientID: 0, Input: rmw(1), Output: uint64(1), Call: 0, Return: 1},
+		{ClientID: 1, Input: rmw(1), Output: uint64(1), Call: 2, Return: 3}, // lost the first add
+		{ClientID: 0, Input: read(), Output: uint64(1), Call: 4, Return: 5},
+	}
+	if ok, err := lincheck.Check(kvModel(), lost); err != nil || ok {
+		t.Fatalf("lost update accepted by the harness model: ok=%v err=%v", ok, err)
+	}
+
+	good := []lincheck.Operation{
+		{ClientID: 0, Input: rmw(5), Output: uint64(5), Call: 0, Return: 1},
+		{ClientID: 1, Input: rmw(1), Output: uint64(6), Call: 2, Return: 3},
+		{ClientID: 0, Input: read(), Output: uint64(6), Call: 4, Return: 5},
+	}
+	if ok, err := lincheck.Check(kvModel(), good); err != nil || !ok {
+		t.Fatalf("valid history rejected by the harness model: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestOverloadDegradesCleanly: crashing f+1 replicas of a partition
+// exceeds the fault bound. The run must still terminate — operations on
+// the dead partition fail by timeout, nothing deadlocks — and the report
+// must say "degraded, unchecked" rather than claim a linearizable pass.
+func TestOverloadDegradesCleanly(t *testing.T) {
+	rep := runProfile(t, "overload", 11)
+	if rep.Crashes < 2 {
+		t.Fatalf("overload schedule crashed only %d replicas", rep.Crashes)
+	}
+	if rep.FailedOps == 0 {
+		t.Fatal("no operation failed despite a dead partition")
+	}
+	if rep.Checked || rep.Linearizable {
+		t.Fatalf("overload run claimed a checked pass: %+v", rep)
+	}
+	if rep.Err == "" {
+		t.Fatal("degraded run reported no error")
+	}
+	if rep.Ops != DefaultOptions().Clients*DefaultOptions().OpsPerClient {
+		t.Fatalf("only %d operations reached a clean outcome (liveness violation)", rep.Ops)
+	}
+}

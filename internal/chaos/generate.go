@@ -1,0 +1,169 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"heron/internal/sim"
+)
+
+// Schedule generators: each profile derives a reproducible fault script
+// from a seed. All randomness comes from one rand.Rand seeded with the
+// schedule seed, consumed in a fixed order, so a (profile, seed,
+// topology) triple always yields the same schedule.
+
+// Profiles lists the generator names, in sweep rotation order.
+var Profiles = []string{"churn", "partitions", "slownic", "mixed"}
+
+// genParams bound the fault window. The active window must overlap the
+// client workload (tens of milliseconds); holds are long enough to span
+// many requests, short enough that several fault rounds fit.
+const (
+	genStart  = 2 * sim.Millisecond  // let the system warm up first
+	genEnd    = 24 * sim.Millisecond // workload tail; everything heals by here
+	holdMin   = 2 * sim.Millisecond
+	holdSpan  = 3 * sim.Millisecond // hold in [holdMin, holdMin+holdSpan)
+	gapMin    = 1 * sim.Millisecond
+	gapSpan   = 2 * sim.Millisecond
+	slowExtra = 5 * sim.Microsecond // minimum added latency for slow-NIC
+)
+
+// Generate builds the schedule for a profile over a (partitions,
+// replicasPerPartition) topology. Unknown profiles return an error. The
+// special profile "overload" crashes f+1 replicas of one partition and
+// never recovers them — the clean-degradation (not correctness) scenario.
+func Generate(profile string, seed int64, partitions, replicas int) (Schedule, error) {
+	sc := Schedule{Seed: seed, Profile: profile}
+	rng := rand.New(rand.NewSource(seed))
+	f := (replicas - 1) / 2
+	switch profile {
+	case "churn":
+		sc.Events = genChurn(rng, partitions, f)
+	case "partitions":
+		sc.Events = genPartitions(rng, partitions, replicas)
+	case "slownic":
+		sc.Events = genSlowNIC(rng, partitions, replicas)
+	case "mixed":
+		n := len(Profiles) - 1 // the concrete profiles before "mixed"
+		pick := Profiles[rng.Intn(n)]
+		switch pick {
+		case "churn":
+			sc.Events = genChurn(rng, partitions, f)
+		case "partitions":
+			sc.Events = genPartitions(rng, partitions, replicas)
+		case "slownic":
+			sc.Events = genSlowNIC(rng, partitions, replicas)
+		}
+		// Overlay one independent slow-NIC window on top.
+		sc.Events = append(sc.Events, genSlowNIC(rng, partitions, replicas)...)
+		sortEvents(sc.Events)
+	case "overload":
+		sc.Events = genOverload(rng, partitions, f)
+	default:
+		return sc, fmt.Errorf("chaos: unknown profile %q (have %v, overload)", profile, Profiles)
+	}
+	return sc, nil
+}
+
+// genChurn emits rounds of crash-then-recover: each round crashes up to f
+// replicas of one partition, holds the outage, recovers them all, then
+// pauses before the next round. At most f replicas of any partition are
+// down at any instant, so every round must preserve linearizability.
+func genChurn(rng *rand.Rand, partitions, f int) []Event {
+	if f < 1 {
+		return nil
+	}
+	var evs []Event
+	t := genStart
+	for t < genEnd {
+		part := rng.Intn(partitions)
+		k := 1 + rng.Intn(f)
+		ranks := rng.Perm(2*f + 1)[:k]
+		sort.Ints(ranks)
+		hold := holdMin + sim.Duration(rng.Int63n(int64(holdSpan)))
+		for _, rank := range ranks {
+			stagger := sim.Duration(rng.Int63n(int64(200 * sim.Microsecond)))
+			evs = append(evs,
+				Event{At: t + stagger, Kind: EvCrash, Part: part, Rank: rank},
+				Event{At: t + hold + stagger, Kind: EvRecover, Part: part, Rank: rank},
+			)
+		}
+		t += hold + gapMin + sim.Duration(rng.Int63n(int64(gapSpan)))
+	}
+	sortEvents(evs)
+	return evs
+}
+
+// genPartitions emits rolling link partitions: windows during which one
+// replica-to-replica link (within a partition, or across partitions) is
+// cut both ways, then healed. Single-link cuts never isolate a majority,
+// so correctness must hold throughout.
+func genPartitions(rng *rand.Rand, partitions, replicas int) []Event {
+	var evs []Event
+	t := genStart
+	for t < genEnd {
+		pa, ra := rng.Intn(partitions), rng.Intn(replicas)
+		pb, rb := rng.Intn(partitions), rng.Intn(replicas)
+		if pa == pb && ra == rb {
+			rb = (ra + 1) % replicas
+		}
+		hold := holdMin/2 + sim.Duration(rng.Int63n(int64(holdSpan)))
+		evs = append(evs,
+			Event{At: t, Kind: EvPartition, Part: pa, Rank: ra, Part2: pb, Rank2: rb},
+			Event{At: t + hold, Kind: EvHeal, Part: pa, Rank: ra, Part2: pb, Rank2: rb},
+		)
+		t += hold + gapMin + sim.Duration(rng.Int63n(int64(gapSpan)))
+	}
+	sortEvents(evs)
+	return evs
+}
+
+// genSlowNIC emits degradation windows: one replica's links gain latency,
+// jitter, and a small completion-drop fraction, then clear. The replica
+// becomes a lagger candidate; state transfer must absorb it.
+func genSlowNIC(rng *rand.Rand, partitions, replicas int) []Event {
+	var evs []Event
+	t := genStart
+	for t < genEnd {
+		part, rank := rng.Intn(partitions), rng.Intn(replicas)
+		hold := holdMin + sim.Duration(rng.Int63n(int64(holdSpan)))
+		evs = append(evs,
+			Event{
+				At: t, Kind: EvSlowLink, Part: part, Rank: rank,
+				Extra:  slowExtra + sim.Duration(rng.Int63n(int64(15*sim.Microsecond))),
+				Jitter: sim.Duration(rng.Int63n(int64(5 * sim.Microsecond))),
+				Drop:   float64(rng.Intn(5)) / 100, // 0% – 4%
+			},
+			Event{At: t + hold, Kind: EvClearLink, Part: part, Rank: rank},
+		)
+		t += hold + gapMin + sim.Duration(rng.Int63n(int64(gapSpan)))
+	}
+	sortEvents(evs)
+	return evs
+}
+
+// genOverload crashes f+1 replicas of one partition — beyond the
+// tolerated fault bound — and never recovers them. The harness expects
+// clean degradation: operations on the dead partition fail by timeout,
+// nothing deadlocks, and the report says so instead of claiming a
+// linearizable pass.
+func genOverload(rng *rand.Rand, partitions, f int) []Event {
+	part := rng.Intn(partitions)
+	ranks := rng.Perm(2*f + 1)[:f+1]
+	sort.Ints(ranks)
+	var evs []Event
+	for i, rank := range ranks {
+		evs = append(evs, Event{
+			At:   genStart + sim.Duration(i)*100*sim.Microsecond,
+			Kind: EvCrash, Part: part, Rank: rank,
+		})
+	}
+	return evs
+}
+
+// sortEvents orders events by instant (stable on ties, preserving
+// generation order) so Install arms them in schedule order.
+func sortEvents(evs []Event) {
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+}

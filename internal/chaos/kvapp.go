@@ -1,0 +1,187 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+
+	"heron/internal/core"
+	"heron/internal/lincheck"
+	"heron/internal/store"
+	"heron/internal/wire"
+)
+
+// The verification workload: a deterministic key-value application whose
+// sequential specification is trivially expressible for the
+// linearizability checker. A request reads a set of objects and writes a
+// set of objects, where each written value is the sum of all read values
+// plus a request-supplied constant; the response is that sum. OIDs encode
+// the owning partition in the high 32 bits.
+
+type kvApp struct {
+	part core.PartitionID
+	// aux mirrors applied writes outside the store, exercising the
+	// auxiliary-state half of state transfer on every recovery.
+	aux map[store.OID]uint64
+}
+
+func newKVApp(part core.PartitionID, _ int) core.Application {
+	return &kvApp{part: part, aux: make(map[store.OID]uint64)}
+}
+
+// kvOID builds an OID owned by a partition.
+func kvOID(part core.PartitionID, key uint32) store.OID {
+	return store.OID(uint64(part)<<32 | uint64(key))
+}
+
+// kvPartitioner maps OIDs to their owning partition.
+var kvPartitioner = core.PartitionerFunc(func(oid store.OID) core.PartitionID {
+	return core.PartitionID(uint64(oid) >> 32)
+})
+
+type kvReq struct {
+	reads  []store.OID
+	writes []store.OID
+	add    uint64
+}
+
+func encodeKVReq(r *kvReq) []byte {
+	w := wire.NewWriter(16 + 8*(len(r.reads)+len(r.writes)))
+	w.U32(uint32(len(r.reads)))
+	for _, oid := range r.reads {
+		w.U64(uint64(oid))
+	}
+	w.U32(uint32(len(r.writes)))
+	for _, oid := range r.writes {
+		w.U64(uint64(oid))
+	}
+	w.U64(r.add)
+	w.U64(0) // cpu: none
+	return w.Finish()
+}
+
+func decodeKVReq(b []byte) *kvReq {
+	r := wire.NewReader(b)
+	req := &kvReq{}
+	n := int(r.U32())
+	for i := 0; i < n; i++ {
+		req.reads = append(req.reads, store.OID(r.U64()))
+	}
+	n = int(r.U32())
+	for i := 0; i < n; i++ {
+		req.writes = append(req.writes, store.OID(r.U64()))
+	}
+	req.add = r.U64()
+	r.U64() // cpu
+	return req
+}
+
+func (a *kvApp) ReadSet(req *core.Request) []store.OID {
+	return decodeKVReq(req.Payload).reads
+}
+
+func (a *kvApp) Execute(ctx *core.ExecContext) core.Outcome {
+	req := decodeKVReq(ctx.Req.Payload)
+	sum := req.add
+	for _, oid := range req.reads {
+		sum += decodeKVVal(ctx.Values[oid])
+	}
+	out := core.Outcome{Response: encodeKVVal(sum)}
+	for _, oid := range req.writes {
+		out.Writes = append(out.Writes, core.Write{OID: oid, Val: encodeKVVal(sum)})
+		if kvPartitioner.PartitionOf(oid) == a.part {
+			a.aux[oid] = sum
+		}
+	}
+	return out
+}
+
+// SnapshotAux / ApplyAux implement core.AuxSyncer: full dump and replace
+// of the mirror map, so recoveries also move auxiliary state.
+func (a *kvApp) SnapshotAux(fromTmp, toTmp uint64) []byte {
+	w := wire.NewWriter(4 + 16*len(a.aux))
+	w.U32(uint32(len(a.aux)))
+	for oid, v := range a.aux {
+		w.U64(uint64(oid))
+		w.U64(v)
+	}
+	return w.Finish()
+}
+
+func (a *kvApp) ApplyAux(data []byte) {
+	r := wire.NewReader(data)
+	n := int(r.U32())
+	m := make(map[store.OID]uint64, n)
+	for i := 0; i < n; i++ {
+		oid := store.OID(r.U64())
+		m[oid] = r.U64()
+	}
+	if r.Err() == nil {
+		a.aux = m
+	}
+}
+
+func encodeKVVal(v uint64) []byte {
+	w := wire.NewWriter(8)
+	w.U64(v)
+	return w.Finish()
+}
+
+func decodeKVVal(b []byte) uint64 {
+	if len(b) < 8 {
+		return 0
+	}
+	return wire.NewReader(b).U64()
+}
+
+// kvModel is the sequential specification for the checker: state maps
+// OIDs to values; an operation sums its read set plus `add`, stores the
+// sum into every write OID, and returns the sum.
+func kvModel() lincheck.Model {
+	type state = map[store.OID]uint64
+	clone := func(s state) state {
+		c := make(state, len(s))
+		for k, v := range s {
+			c[k] = v
+		}
+		return c
+	}
+	return lincheck.Model{
+		Init: func() any { return state{} },
+		Step: func(st any, input any) (any, any) {
+			s := st.(state)
+			req := input.(*kvReq)
+			sum := req.add
+			for _, oid := range req.reads {
+				sum += s[oid]
+			}
+			c := clone(s)
+			for _, oid := range req.writes {
+				c[oid] = sum
+			}
+			return c, sum
+		},
+		Hash: func(st any) string {
+			s := st.(state)
+			keys := make([]store.OID, 0, len(s))
+			for k := range s {
+				keys = append(keys, k)
+			}
+			sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+			out := ""
+			for _, k := range keys {
+				out += fmt.Sprintf("%d=%d;", k, s[k])
+			}
+			return out
+		},
+		EqualOutput: func(observed, model any) bool {
+			return observed.(uint64) == model.(uint64)
+		},
+	}
+}
+
+var _ core.AuxSyncer = (*kvApp)(nil)
+
+// slotCapacity sizes a replica store for the workload's keys.
+func slotCapacity(keys int) int {
+	return keys*store.SlotSize(8) + 1<<12
+}

@@ -127,6 +127,11 @@ func (r *Replica) handleControl(p *sim.Proc, datagram []byte, from rdma.NodeID) 
 func (r *Replica) checkStateTransfers(p *sim.Proc, watches map[int]*stWatch) sim.Time {
 	now := p.Now()
 	next := now + sim.Time(200*sim.Microsecond)
+	if r.recovering {
+		// A rejoined replica's store is stale until its own full state
+		// transfer completes: it must not serve anyone else's request.
+		return next
+	}
 	n := len(r.peers[r.part])
 	for q := 0; q < n; q++ {
 		if q == r.rank {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"heron/internal/multicast"
+	"heron/internal/obs"
 	"heron/internal/rdma"
 	"heron/internal/sim"
 )
@@ -31,6 +32,10 @@ type Deployment struct {
 	Replicas [][]*Replica
 
 	nextClient rdma.NodeID
+
+	// obsv is the observer installed by Observe, kept so replacement
+	// multicast processes created by RecoverReplica attach to it too.
+	obsv *obs.Observer
 }
 
 // AppFactory builds the application instance for one replica. Each

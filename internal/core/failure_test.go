@@ -3,8 +3,11 @@ package core
 import (
 	"bytes"
 	"fmt"
+	"math/rand"
+	"sort"
 	"testing"
 
+	"heron/internal/lincheck"
 	"heron/internal/sim"
 	"heron/internal/store"
 )
@@ -273,6 +276,94 @@ func TestCrashBetweenPostAndCompletionFailsOnlySubset(t *testing.T) {
 	}
 	if retries == 0 {
 		t.Fatal("no crash instant in the sweep exercised the failed-completion retry path")
+	}
+}
+
+// TestCrashRecoverRejoinLinearizes crashes a replica mid-stream, recovers
+// it with Deployment.RecoverReplica (multicast state restored from the
+// live members, application state via full state transfer), and verifies
+// that the complete client history — spanning the crash and the rejoin —
+// linearizes, and that the rejoined replica converges to the survivors
+// and resumes executing.
+func TestCrashRecoverRejoinLinearizes(t *testing.T) {
+	s, d := testDeployment(t, 2, 3, 3)
+	const clients = 3
+	const perClient = 14
+
+	s.After(2*sim.Millisecond, func() { d.Replica(0, 1).Crash() })
+	s.After(8*sim.Millisecond, func() {
+		if err := d.RecoverReplica(0, 1); err != nil {
+			t.Error(err)
+		}
+	})
+
+	var history []lincheck.Operation
+	for ci := 0; ci < clients; ci++ {
+		ci := ci
+		cl := d.NewClient()
+		rng := rand.New(rand.NewSource(int64(ci) + 7))
+		s.Spawn(fmt.Sprintf("rejoin-client%d", ci), func(p *sim.Proc) {
+			for i := 0; i < perClient; i++ {
+				req := &kvReq{add: uint64(rng.Intn(50))}
+				dstSet := map[PartitionID]bool{}
+				for j := 0; j < rng.Intn(3); j++ {
+					part := PartitionID(rng.Intn(2))
+					dstSet[part] = true
+					req.reads = append(req.reads, kvOID(part, uint32(rng.Intn(3))))
+				}
+				for j := 0; j < 1+rng.Intn(2); j++ {
+					part := PartitionID(rng.Intn(2))
+					dstSet[part] = true
+					req.writes = append(req.writes, kvOID(part, uint32(rng.Intn(3))))
+				}
+				var dst []PartitionID
+				for part := range dstSet {
+					dst = append(dst, part)
+				}
+				sort.Slice(dst, func(a, b int) bool { return dst[a] < dst[b] })
+				call := int64(p.Now())
+				resp, err := cl.Submit(p, dst, encodeKVReq(req))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				history = append(history, lincheck.Operation{
+					ClientID: ci,
+					Input:    req,
+					Output:   decodeKVVal(resp[dst[0]]),
+					Call:     call,
+					Return:   int64(p.Now()),
+				})
+				// Stretch the workload across the crash and the rejoin.
+				p.Sleep(sim.Duration(300+rng.Intn(300)) * sim.Microsecond)
+			}
+		})
+	}
+	runFor(t, s, 2*sim.Second)
+	if len(history) != clients*perClient {
+		t.Fatalf("completed %d of %d operations across crash and rejoin", len(history), clients*perClient)
+	}
+	ok, err := lincheck.Check(kvModel(), history)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("history of %d operations spanning crash-recovery is NOT linearizable", len(history))
+	}
+
+	rejoined := d.Replica(0, 1)
+	if rejoined.StateTransfers() == 0 {
+		t.Fatal("rejoined replica never ran its full state transfer")
+	}
+	// Let in-flight deliveries settle, then the rejoined replica must agree
+	// with a survivor on every object of its partition.
+	runFor(t, s, 50*sim.Millisecond)
+	for k := uint32(0); k < 3; k++ {
+		ref, refTs, _ := d.Replica(0, 0).Store().Get(kvOID(0, k))
+		got, gotTs, _ := rejoined.Store().Get(kvOID(0, k))
+		if !bytes.Equal(ref, got) || refTs != gotTs {
+			t.Fatalf("rejoined replica diverged on key %d: %x@%d vs %x@%d", k, got, gotTs, ref, refTs)
+		}
 	}
 }
 

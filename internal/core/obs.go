@@ -68,6 +68,7 @@ func (d *Deployment) Observe(o *obs.Observer) {
 	if o == nil {
 		return
 	}
+	d.obsv = o
 	d.Fabric.Observe(o)
 	for g := range d.Replicas {
 		for _, rep := range d.Replicas[g] {

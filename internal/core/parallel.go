@@ -155,6 +155,7 @@ func (r *Replica) runWorker(pl *execPool, idx int, tk *obs.Track) func(p *sim.Pr
 // runParallelExecutor is the Algorithm 1 loop with worker-pool dispatch
 // for single-partition requests.
 func (r *Replica) runParallelExecutor(p *sim.Proc) {
+	r.recoverIfNeeded(p)
 	pool := newExecPool(r, p.Scheduler())
 	estimator, canEstimate := r.app.(ConflictEstimator)
 	for k := 0; k < r.cfg.ExecWorkers; k++ {

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"heron/internal/multicast"
+	"heron/internal/sim"
+)
+
+// Crash recovery: a crashed replica rejoins by recovering its fabric node,
+// rebuilding its ordering-layer state from the live group members
+// (multicast.Restore), and fast-forwarding its application state through
+// the existing full state-transfer path (Algorithm 3 with req_tmp = 0).
+// Until the transfer completes the replica participates in ordering but
+// neither executes nor serves as a state-transfer responder.
+
+// rejoin restarts a recovered replica's processes against a replacement
+// multicast process. The fabric node must already be recovered and the
+// multicast process restored (and started) by the deployment.
+func (r *Replica) rejoin(s *sim.Scheduler, mc *multicast.Process) {
+	r.mc = mc
+	r.recovering = true
+	r.start(s)
+}
+
+// recoverIfNeeded is the executor prologue after a rejoin: synchronize the
+// full application state from a live peer, then rebuild the coordination
+// memory so multi-partition requests already past their phases are not
+// waited on forever.
+func (r *Replica) recoverIfNeeded(p *sim.Proc) {
+	if !r.recovering {
+		return
+	}
+	r.RequestFullStateTransfer(p)
+	r.refreshCoordination(p)
+	r.recovering = false
+}
+
+// refreshCoordination rebuilds local coordination memory by reading every
+// peer's own coordination slot with one-sided READs. A peer's own slot is
+// authoritative for its entry (it writes it locally before posting the
+// remote copies); unreachable peers are skipped — majorities cover them,
+// and their entries only matter once they recover and coordinate again.
+func (r *Replica) refreshCoordination(p *sim.Proc) {
+	for h := range r.peers {
+		for q, info := range r.peers[h] {
+			if info.node == r.node.ID() {
+				continue
+			}
+			off := r.coordOff(PartitionID(h), q)
+			addr := info.coordAddr
+			addr.Off += off
+			buf, err := r.qp(info.node).Read(p, addr, 8)
+			if err != nil {
+				continue
+			}
+			val := binary.LittleEndian.Uint64(buf)
+			local := r.coordMem.Bytes()[off : off+8]
+			if val > binary.LittleEndian.Uint64(local) {
+				binary.LittleEndian.PutUint64(local, val)
+			}
+		}
+	}
+	r.node.WriteNotify().Broadcast()
+}
+
+// RecoverReplica restarts the crashed replica at (part, rank): the fabric
+// node recovers (fresh inbox, reset rings), a replacement multicast
+// process is rebuilt from the live group members' snapshots, and the
+// replica's processes restart in recovering mode — their first act is a
+// full state transfer from a live peer. Returns an error if the replica
+// is not crashed.
+func (d *Deployment) RecoverReplica(part PartitionID, rank int) error {
+	rep := d.Replicas[part][rank]
+	if !rep.node.Crashed() {
+		return fmt.Errorf("core: replica p%d/r%d is not crashed", part, rank)
+	}
+	rep.node.Recover()
+
+	var states []*multicast.RecoveryState
+	for q, mc := range d.MCProcs[part] {
+		if q == rank || d.Replicas[part][q].node.Crashed() {
+			continue
+		}
+		states = append(states, mc.SnapshotForRecovery())
+	}
+	mc := multicast.NewProcess(multicast.OverRDMA(d.TrMC), &d.Cfg.Multicast, multicast.GroupID(part), rank)
+	mc.Restore(states)
+	if d.obsv != nil {
+		mc.Observe(d.obsv)
+	}
+	d.MCProcs[part][rank] = mc
+	mc.Start(d.Sched)
+	rep.rejoin(d.Sched, mc)
+	return nil
+}

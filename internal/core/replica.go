@@ -94,6 +94,11 @@ type Replica struct {
 	// slow injects an extra delay before each execution (failure
 	// injection: makes this replica a lagger candidate).
 	slow sim.Duration
+
+	// recovering is set between a rejoin and the completion of the full
+	// state transfer that brings the replica back up to date. While set,
+	// the replica does not act as a state-transfer responder.
+	recovering bool
 }
 
 type objMapKey struct {
@@ -250,6 +255,7 @@ func (r *Replica) start(s *sim.Scheduler) {
 // runExecutor is Algorithm 1: deliver, coordinate, execute, coordinate,
 // reply.
 func (r *Replica) runExecutor(p *sim.Proc) {
+	r.recoverIfNeeded(p)
 	for !r.node.Crashed() {
 		d, ok := r.mc.Deliveries().Recv(p)
 		if !ok {

@@ -103,6 +103,47 @@ func TestEmptyAndMalformed(t *testing.T) {
 	}
 }
 
+// TestPropertyCorruptedOutputRejected: in a strictly sequential history
+// the real-time order forces a unique linearization, so corrupting any
+// read's output must be rejected. This is the anti-vacuity property: a
+// checker that accepts everything would pass every protocol test while
+// verifying nothing.
+func TestPropertyCorruptedOutputRejected(t *testing.T) {
+	model := RegisterModel()
+	checkFn := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(8)
+		state := model.Init()
+		h := make([]Operation, n)
+		var reads []int
+		for i := 0; i < n; i++ {
+			var in RegisterOp
+			switch rng.Intn(3) {
+			case 0:
+				in = reg("read", "x", 0)
+				reads = append(reads, i)
+			case 1:
+				in = reg("write", "x", int64(rng.Intn(5)))
+			default:
+				in = reg("add", "x", int64(1+rng.Intn(3)))
+			}
+			var out any
+			state, out = model.Step(state, in)
+			h[i] = Operation{Input: in, Output: out, Call: int64(2 * i), Return: int64(2*i + 1)}
+		}
+		if len(reads) == 0 {
+			return true
+		}
+		i := reads[rng.Intn(len(reads))]
+		h[i].Output = h[i].Output.(int64) + 1 + int64(rng.Intn(5))
+		ok, err := Check(model, h)
+		return err == nil && !ok
+	}
+	if err := quick.Check(checkFn, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestPropertySequentialChainsAlwaysLinearizable: generating a valid
 // sequential execution and then overlapping intervals arbitrarily (while
 // keeping each response after its invocation and preserving the original

@@ -60,7 +60,10 @@ func (pr *Process) sendProposals(p *sim.Proc, pend *pendingMsg) {
 }
 
 // retryProposals retransmits proposals for messages stuck waiting on
-// other groups (heals protocol messages lost to crashes).
+// other groups (heals protocol messages lost to crashes), and re-requests
+// the proposals this group is still missing — the push alone cannot heal
+// a proposal lost on the way here, because the remote group stops pushing
+// once it has decided.
 func (pr *Process) retryProposals(p *sim.Proc, now sim.Time) {
 	for _, pend := range pr.pending {
 		if pend.final != 0 || !pend.propStable || len(pend.msg.dst) == 1 {
@@ -68,7 +71,50 @@ func (pr *Process) retryProposals(p *sim.Proc, now sim.Time) {
 		}
 		if now-pend.lastSend >= sim.Time(pr.cfg.RetryInterval) {
 			pr.sendProposals(p, pend)
+			pr.requestMissingProps(p, pend)
 		}
+	}
+}
+
+// requestMissingProps asks the members of every destination group whose
+// proposal for pend has not arrived to re-send it.
+func (pr *Process) requestMissingProps(p *sim.Proc, pend *pendingMsg) {
+	rec := encodePropRequest(&propRequest{id: pend.msg.id})
+	for _, h := range pend.msg.dst {
+		if h == pr.group {
+			continue
+		}
+		if _, ok := pend.props[h]; ok {
+			continue
+		}
+		for _, member := range pr.cfg.Groups[h] {
+			pr.send(p, member, rec)
+		}
+	}
+}
+
+// onPropRequest answers another group's pull for our proposal. A committed
+// entry's final timestamp is a safe answer: it is the maximum over every
+// destination group's proposal, so the requester's own max computation
+// yields exactly it. An uncommitted proposal may only be served by the
+// leader once quorum-replicated (propStable) — the same externally-visible
+// bar sendProposals enforces — so the promise still survives leader
+// failure. Anything else stays unanswered; the requester retries.
+func (pr *Process) onPropRequest(p *sim.Proc, m *propRequest, from rdma.NodeID) {
+	if pr.committed[m.id] {
+		for i := range pr.log {
+			if pr.log[i].id == m.id {
+				pr.send(p, from, encodeProposal(&proposalMsg{fromGroup: pr.group, id: m.id, prop: pr.log[i].ts}))
+				return
+			}
+		}
+		return // truncated here; another member or a later retry answers
+	}
+	if pr.role != roleLeader {
+		return
+	}
+	if pend := pr.pending[m.id]; pend != nil && pend.propStable && pend.ownProp != 0 {
+		pr.send(p, from, encodeProposal(&proposalMsg{fromGroup: pr.group, id: m.id, prop: pend.ownProp}))
 	}
 }
 
@@ -210,6 +256,7 @@ func (pr *Process) onAck(p *sim.Proc, m *ackMsg, from rdma.NodeID) {
 	}
 	if m.repSeq > pr.ackedRep[rank] {
 		pr.ackedRep[rank] = m.repSeq
+		pr.lagSince[rank] = 0 // progress: disarm the resync timer
 		pr.fireMilestones(p)
 	}
 }

@@ -98,6 +98,11 @@ type Config struct {
 	// RetryInterval is how often a leader retransmits proposals for
 	// messages stuck waiting on other groups.
 	RetryInterval sim.Duration
+	// ResyncInterval is how long a follower's cumulative replication ack
+	// may trail the leader's stream before the leader re-replicates by
+	// state snapshot (repairing records lost to fabric faults within a
+	// view). 0 = default 400µs.
+	ResyncInterval sim.Duration
 	// HandlerCPU is the CPU time charged per protocol message handled,
 	// modeling the replica's dispatch loop.
 	HandlerCPU sim.Duration
@@ -116,6 +121,7 @@ func DefaultConfig(groups [][]rdma.NodeID) Config {
 		HeartbeatInterval: 100 * sim.Microsecond,
 		LeaderTimeout:     800 * sim.Microsecond,
 		RetryInterval:     400 * sim.Microsecond,
+		ResyncInterval:    400 * sim.Microsecond,
 		HandlerCPU:        200 * sim.Nanosecond,
 	}
 }

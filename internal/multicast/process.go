@@ -78,9 +78,11 @@ type Process struct {
 	committed   map[MsgID]bool
 	unproposed  map[MsgID]*clientMsg
 
-	// Leader state.
+	// Leader state. repSeq doubles as follower state: the highest
+	// replication record applied contiguously in the current view.
 	repSeq        uint64
 	ackedRep      []uint64 // per follower rank, for the current view
+	lagSince      []sim.Time
 	milestones    []milestone
 	nextHeartbeat sim.Time
 
@@ -144,6 +146,7 @@ func NewProcess(tr Transport, cfg *Config, g GroupID, rank int) *Process {
 		committed:   make(map[MsgID]bool),
 		unproposed:  make(map[MsgID]*clientMsg),
 		ackedRep:    make([]uint64, len(cfg.Groups[g])),
+		lagSince:    make([]sim.Time, len(cfg.Groups[g])),
 	}
 	if rank == 0 {
 		pr.role = roleLeader
@@ -279,6 +282,7 @@ func (pr *Process) tick(p *sim.Proc) {
 			pr.nextHeartbeat = now + sim.Time(pr.cfg.HeartbeatInterval)
 		}
 		pr.retryProposals(p, now)
+		pr.checkResyncs(p, now)
 	case roleFollower:
 		if now >= pr.leaderDeadline {
 			pr.suspectNext(p)
@@ -373,6 +377,16 @@ func (pr *Process) handle(p *sim.Proc, datagram []byte, from rdma.NodeID) {
 		if r.Err() == nil {
 			pr.onViewState(p, m, from)
 		}
+	case kindResync:
+		m := decodeResync(r)
+		if r.Err() == nil {
+			pr.onResync(p, m)
+		}
+	case kindPropReq:
+		m := decodePropRequest(r)
+		if r.Err() == nil {
+			pr.onPropRequest(p, m, from)
+		}
 	}
 }
 
@@ -410,6 +424,8 @@ func (pr *Process) acceptView(v uint64) bool {
 		}
 		pr.role = roleFollower
 		pr.milestones = nil
+		// A new view starts a fresh replication stream at 1.
+		pr.repSeq = 0
 	}
 	pr.view = v
 	pr.votedView = v
@@ -424,6 +440,16 @@ func (pr *Process) onRepProposal(p *sim.Proc, m *repProposal) {
 	}
 	pr.lastAcceptedView = m.view
 	pr.leaderDeadline = p.Now() + sim.Time(pr.cfg.LeaderTimeout)
+	if m.repSeq != pr.repSeq+1 {
+		// Out-of-order replication record: a preceding record was lost on
+		// the fabric. Applying (or acking) past the hole would let the
+		// leader count us toward a quorum for state we do not hold; skip
+		// and let the leader's resync repair us.
+		if m.repSeq <= pr.repSeq {
+			pr.needAck = true // stale duplicate; refresh the leader's view of us
+		}
+		return
+	}
 	if !pr.committed[m.msg.id] {
 		pend := pr.pending[m.msg.id]
 		if pend == nil {
@@ -449,6 +475,15 @@ func (pr *Process) onRepCommit(p *sim.Proc, m *repCommit) {
 	pr.lastAcceptedView = m.view
 	pr.leaderDeadline = p.Now() + sim.Time(pr.cfg.LeaderTimeout)
 
+	if m.repSeq != pr.repSeq+1 {
+		// Out-of-order record (a predecessor was dropped in the fabric):
+		// do not apply or ack past the hole; the leader's resync repairs
+		// us with a full snapshot.
+		if m.repSeq <= pr.repSeq {
+			pr.needAck = true
+		}
+		return
+	}
 	if m.gseq < pr.commitIdx {
 		// Duplicate of an already committed entry (re-replication); ack it.
 		pr.repSeq = m.repSeq
@@ -462,17 +497,16 @@ func (pr *Process) onRepCommit(p *sim.Proc, m *repCommit) {
 	} else {
 		pend := pr.pending[m.id]
 		if pend == nil {
-			// The body is replicated before the commit on this FIFO ring;
-			// a missing body means we joined mid-view. Do NOT ack: a
-			// cumulative ack over a hole would let the leader count us
-			// toward a quorum for an entry we do not have.
+			// The body rides the repProposal, which precedes the commit in
+			// a contiguous stream; a missing body means our state predates
+			// this view's stream. Do NOT ack past it — wait for resync.
 			return
 		}
 		entry.dst = pend.msg.dst
 		entry.payload = pend.msg.payload
 	}
 	if m.gseq > pr.logBase+uint64(len(pr.log)) {
-		return // gap: wait for re-replication, and do not ack past it
+		return // log hole: wait for resync, and do not ack past it
 	}
 	pr.repSeq = m.repSeq
 	pr.needAck = true

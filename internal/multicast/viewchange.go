@@ -179,6 +179,9 @@ func (pr *Process) adopt(p *sim.Proc) {
 	for i := range pr.ackedRep {
 		pr.ackedRep[i] = 0
 	}
+	for i := range pr.lagSince {
+		pr.lagSince[i] = 0
+	}
 	pr.milestones = nil
 	pr.vcStates = nil
 	pr.repToGseq = nil

@@ -9,15 +9,17 @@ import (
 
 // Protocol message kinds. Values start at 1 so a zero byte is invalid.
 const (
-	kindClient      = 1 // client -> all members of all destination groups
-	kindRepProposal = 2 // leader -> followers: message body + proposal ts
-	kindRepCommit   = 3 // leader -> followers: log append (body inline if single-group)
-	kindAck         = 4 // follower -> leader: cumulative replication ack
-	kindProposal    = 5 // leader -> members of other destination groups
-	kindCommitIdx   = 6 // leader -> followers: commit index advance
-	kindHeartbeat   = 7 // leader -> followers: liveness + commit index
-	kindViewReq     = 8 // candidate -> group members: view-change request
-	kindViewState   = 9 // member -> candidate: state for the new view
+	kindClient      = 1  // client -> all members of all destination groups
+	kindRepProposal = 2  // leader -> followers: message body + proposal ts
+	kindRepCommit   = 3  // leader -> followers: log append (body inline if single-group)
+	kindAck         = 4  // follower -> leader: cumulative replication ack
+	kindProposal    = 5  // leader -> members of other destination groups
+	kindCommitIdx   = 6  // leader -> followers: commit index advance
+	kindHeartbeat   = 7  // leader -> followers: liveness + commit index
+	kindViewReq     = 8  // candidate -> group members: view-change request
+	kindViewState   = 9  // member -> candidate: state for the new view
+	kindResync      = 10 // leader -> lagging follower: state snapshot
+	kindPropReq     = 11 // leader -> members of another destination group: re-request a lost proposal
 )
 
 // clientMsg is the client submission.
@@ -215,6 +217,11 @@ type pendingState struct {
 func encodeViewState(m *viewState) []byte {
 	w := wire.NewWriter(256)
 	w.U8(kindViewState)
+	encodeViewStateBody(w, m)
+	return w.Finish()
+}
+
+func encodeViewStateBody(w *wire.Writer, m *viewState) {
 	w.U64(m.view)
 	w.U64(m.lastAcceptedView)
 	w.U64(m.lc)
@@ -241,7 +248,6 @@ func encodeViewState(m *viewState) []byte {
 			w.U64(uint64(ts))
 		}
 	}
-	return w.Finish()
 }
 
 func decodeViewState(r *wire.Reader) *viewState {
@@ -276,6 +282,46 @@ func decodeViewState(r *wire.Reader) *viewState {
 		m.pending = append(m.pending, p)
 	}
 	return m
+}
+
+// resyncMsg re-replicates the leader's full retained state to one lagging
+// follower, repairing replication records lost to fabric faults within a
+// view (the view-change path already covers the cross-view case).
+type resyncMsg struct {
+	repSeq uint64 // the leader's replication-stream position at snapshot
+	st     *viewState
+}
+
+func encodeResync(m *resyncMsg) []byte {
+	w := wire.NewWriter(264)
+	w.U8(kindResync)
+	w.U64(m.repSeq)
+	encodeViewStateBody(w, m.st)
+	return w.Finish()
+}
+
+func decodeResync(r *wire.Reader) *resyncMsg {
+	return &resyncMsg{repSeq: r.U64(), st: decodeViewState(r)}
+}
+
+// propRequest asks a member of another destination group to re-send its
+// group's proposal (or committed final timestamp) for a message stuck
+// undecided at the requester — the pull half of proposal repair, for
+// proposals lost on the fabric after the sender's group already decided
+// and stopped pushing. The answer is an ordinary proposalMsg.
+type propRequest struct {
+	id MsgID
+}
+
+func encodePropRequest(m *propRequest) []byte {
+	w := wire.NewWriter(20)
+	w.U8(kindPropReq)
+	encodeMsgID(w, m.id)
+	return w.Finish()
+}
+
+func decodePropRequest(r *wire.Reader) *propRequest {
+	return &propRequest{id: decodeMsgID(r)}
 }
 
 func encodeMsgID(w *wire.Writer, id MsgID) {

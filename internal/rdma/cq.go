@@ -144,7 +144,7 @@ func (q *QP) PostRead(p *sim.Proc, cq *CQ, addr Addr, length int) (*ReadHandle, 
 	}
 	h := &ReadHandle{addr: addr, length: length, seq: cq.nextSeq}
 	posted := q.sched.Now()
-	if q.remote.crashed {
+	if q.pathDown() || q.dropDrawn() {
 		cq.nextSeq++
 		cq.outstanding++
 		if io := q.o(); io != nil {
@@ -153,7 +153,7 @@ func (q *QP) PostRead(p *sim.Proc, cq *CQ, addr Addr, length int) (*ReadHandle, 
 				Arg("to", int(q.remote.id)).Arg("bytes", length)
 		}
 		q.sched.At(posted+sim.Time(q.cfg.FailureTimeout), func() {
-			cq.complete(h, nil, fmt.Errorf("%w: node %d", ErrRemoteFailure, q.remote.id))
+			cq.complete(h, nil, q.pathErr())
 		})
 		p.Sleep(q.cfg.PostOverhead)
 		return h, nil
@@ -172,15 +172,16 @@ func (q *QP) PostRead(p *sim.Proc, cq *CQ, addr Addr, length int) (*ReadHandle, 
 			Arg("to", int(q.remote.id)).Arg("bytes", length).Arg("nic_wait_ns", int64(wait))
 	}
 	q.sched.At(done, func() {
-		if q.remote.crashed {
-			// Crash raced the DMA: this operation — and only this one —
-			// surfaces the RDMA exception as a late timeout.
+		if q.pathDown() {
+			// Crash or partition raced the DMA: this operation — and only
+			// this one — surfaces the RDMA exception as a late timeout.
 			failAt := posted + sim.Time(q.cfg.FailureTimeout)
 			if failAt < done {
 				failAt = done
 			}
+			err := q.pathErr()
 			q.sched.At(failAt, func() {
-				cq.complete(h, nil, fmt.Errorf("%w: node %d", ErrRemoteFailure, q.remote.id))
+				cq.complete(h, nil, err)
 			})
 			return
 		}

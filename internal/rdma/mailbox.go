@@ -182,9 +182,26 @@ func (w *MailboxWriter) waitCredit(p *sim.Proc, need int) error {
 
 // TryRecv returns the next record without blocking, or ok=false when the
 // ring is empty. The returned slice is a copy.
+//
+// Under fault injection the ring can desynchronize: writes from the
+// producer are dropped while its tail bookkeeping advances (crashed or
+// partitioned consumer), or a link reset rewinds the producer while a
+// stale tail value is still in flight. Both surface here as a tail behind
+// the head or as a record that cannot be parsed; the consumer resynchronizes
+// by jumping its head to the published tail, dropping the unparseable lap.
+// Lost records are protocol messages, which the retry and view-change
+// machinery already covers.
 func (m *Mailbox) TryRecv(p *sim.Proc) ([]byte, bool) {
 	for {
-		if m.tailShadow() <= m.head {
+		tail := m.tailShadow()
+		if tail == m.head {
+			return nil, false
+		}
+		if tail < m.head {
+			// The producer was reset behind us (link heal raced an
+			// in-flight tail write): adopt its position.
+			m.head = tail
+			m.returnCredit(p)
 			return nil, false
 		}
 		off := int(m.head % uint64(m.cap))
@@ -195,6 +212,13 @@ func (m *Mailbox) TryRecv(p *sim.Proc) ([]byte, bool) {
 			continue
 		}
 		span := recordSpan(int(length))
+		if int(length) > maxRecordLen || off+span > m.cap || uint64(span) > tail-m.head {
+			// Garbage record: dropped writes left a stale lap under the
+			// published tail. Skip to the tail and resynchronize.
+			m.head = tail
+			m.returnCredit(p)
+			return nil, false
+		}
 		payload := make([]byte, length)
 		copy(payload, m.reg.buf[mailboxHdr+off+4:mailboxHdr+off+4+int(length)])
 		m.head += uint64(span)
@@ -218,6 +242,25 @@ func (m *Mailbox) Recv(p *sim.Proc) ([]byte, error) {
 
 // Pending reports whether a record is available without consuming it.
 func (m *Mailbox) Pending() bool { return m.tailShadow() > m.head }
+
+// reset reinitializes the consumer half: the tail cell and the head
+// cursor return to zero, discarding whatever the ring holds. Called when
+// the link to the producer is re-established after faults.
+func (m *Mailbox) reset() {
+	for i := 0; i < mailboxHdr; i++ {
+		m.reg.buf[i] = 0
+	}
+	m.head = 0
+}
+
+// reset reinitializes the producer half: the tail bookkeeping and the
+// credit cell return to zero, matching a freshly reset consumer ring.
+func (w *MailboxWriter) reset() {
+	w.tail = 0
+	for i := range w.creditReg.buf {
+		w.creditReg.buf[i] = 0
+	}
+}
 
 // returnCredit posts the consumer head back to the producer (unsignaled).
 func (m *Mailbox) returnCredit(p *sim.Proc) {

@@ -91,6 +91,7 @@ func (q *QP) region(addr Addr, length int) (*Region, error) {
 // verbs before either NIC began serving it (0 when both were idle). The
 // wait feeds the issuing node's nic_wait histogram when observed.
 func (q *QP) completionTime(base sim.Duration, size int) (sim.Time, sim.Duration) {
+	base += q.local.fabric.linkExtra(q.local.id, q.remote.id)
 	now := q.sched.Now()
 	start := q.local.nic.admit(now, q.cfg, size)
 	start = q.remote.nic.admit(start, q.cfg, size)
@@ -101,11 +102,34 @@ func (q *QP) completionTime(base sim.Duration, size int) (sim.Time, sim.Duration
 	return start + sim.Time(base) + sim.Time(float64(size)/q.cfg.BytesPerNS), wait
 }
 
-// failRemote blocks the issuer for the failure timeout and returns the
-// RDMA exception, modeling RC retransmission exhaustion.
-func (q *QP) failRemote(p *sim.Proc) error {
-	p.Sleep(q.cfg.FailureTimeout)
+// pathDown reports whether verbs on this QP cannot currently reach the
+// remote node: it crashed, or the link between the two nodes is
+// partitioned.
+func (q *QP) pathDown() bool {
+	return q.remote.crashed || q.local.fabric.Partitioned(q.local.id, q.remote.id)
+}
+
+// pathErr builds the RDMA exception matching the current path state.
+func (q *QP) pathErr() error {
+	if !q.remote.crashed && q.local.fabric.Partitioned(q.local.id, q.remote.id) {
+		return fmt.Errorf("%w: %d->%d", ErrLinkDown, q.local.id, q.remote.id)
+	}
 	return fmt.Errorf("%w: node %d", ErrRemoteFailure, q.remote.id)
+}
+
+// failVerb blocks the issuer for the failure timeout and surfaces the
+// RDMA exception for the current path state, modeling RC retransmission
+// exhaustion. It is the single failure path shared by Read, Write and
+// CompareAndSwap, for crashed targets and partitioned links alike.
+func (q *QP) failVerb(p *sim.Proc) error {
+	p.Sleep(q.cfg.FailureTimeout)
+	return q.pathErr()
+}
+
+// dropDrawn decides (from the seeded fault RNG) whether this verb is lost
+// on a lossy link.
+func (q *QP) dropDrawn() bool {
+	return q.local.fabric.dropDraw(q.local.id, q.remote.id)
 }
 
 // checkLocal returns an error if the issuing node has crashed.
@@ -124,8 +148,8 @@ func (q *QP) Read(p *sim.Proc, addr Addr, length int) ([]byte, error) {
 	if err := q.checkLocal(); err != nil {
 		return nil, err
 	}
-	if q.remote.crashed {
-		return nil, q.failRemote(p)
+	if q.pathDown() || q.dropDrawn() {
+		return nil, q.failVerb(p)
 	}
 	reg, err := q.region(addr, length)
 	if err != nil {
@@ -145,7 +169,7 @@ func (q *QP) Read(p *sim.Proc, addr Addr, length int) ([]byte, error) {
 	failed := false
 	q.sched.At(done, func() {
 		defer sp.End()
-		if q.remote.crashed {
+		if q.pathDown() {
 			failed = true
 			return
 		}
@@ -153,8 +177,9 @@ func (q *QP) Read(p *sim.Proc, addr Addr, length int) ([]byte, error) {
 	})
 	p.Sleep(sim.Duration(done - p.Now()))
 	if failed {
-		// Crash raced the DMA: surface the exception as a late timeout.
-		return nil, q.failRemote(p)
+		// Crash or partition raced the DMA: surface the exception as a
+		// late timeout.
+		return nil, q.failVerb(p)
 	}
 	return buf, nil
 }
@@ -166,16 +191,16 @@ func (q *QP) Write(p *sim.Proc, addr Addr, data []byte) error {
 	if err := q.checkLocal(); err != nil {
 		return err
 	}
-	if q.remote.crashed {
-		return q.failRemote(p)
+	if q.pathDown() || q.dropDrawn() {
+		return q.failVerb(p)
 	}
 	done, err := q.post(addr, data)
 	if err != nil {
 		return err
 	}
 	p.Sleep(sim.Duration(done - p.Now()))
-	if q.remote.crashed {
-		return q.failRemote(p)
+	if q.pathDown() {
+		return q.failVerb(p)
 	}
 	return nil
 }
@@ -188,9 +213,10 @@ func (q *QP) PostWrite(p *sim.Proc, addr Addr, data []byte) error {
 	if err := q.checkLocal(); err != nil {
 		return err
 	}
-	if q.remote.crashed {
+	if q.pathDown() || q.dropDrawn() {
 		// Posting succeeds on real hardware; the completion error is
-		// asynchronous. Model as a silently dropped write — silent to the
+		// asynchronous. Model crashed targets, partitioned links and lossy
+		// drops alike as a silently dropped write — silent to the
 		// protocol, but visible in metrics so crashed-target traffic can
 		// be diagnosed from a -metrics snapshot.
 		if io := q.o(); io != nil {
@@ -227,9 +253,10 @@ func (q *QP) post(addr Addr, data []byte) (sim.Time, error) {
 	copy(buf, data)
 	q.sched.At(done, func() {
 		defer sp.End()
-		if q.remote.crashed {
+		if q.pathDown() {
 			if io != nil {
-				// Crash raced the DMA: the payload never landed.
+				// Crash or partition raced the DMA: the payload never
+				// landed.
 				io.writeDropped.Inc()
 			}
 			return
@@ -247,8 +274,8 @@ func (q *QP) CompareAndSwap(p *sim.Proc, addr Addr, expect, swap uint64) (uint64
 	if err := q.checkLocal(); err != nil {
 		return 0, err
 	}
-	if q.remote.crashed {
-		return 0, q.failRemote(p)
+	if q.pathDown() || q.dropDrawn() {
+		return 0, q.failVerb(p)
 	}
 	reg, err := q.region(addr, 8)
 	if err != nil {
@@ -269,7 +296,7 @@ func (q *QP) CompareAndSwap(p *sim.Proc, addr Addr, expect, swap uint64) (uint64
 	failed := false
 	q.sched.At(done, func() {
 		defer sp.End()
-		if q.remote.crashed {
+		if q.pathDown() {
 			failed = true
 			return
 		}
@@ -287,7 +314,7 @@ func (q *QP) CompareAndSwap(p *sim.Proc, addr Addr, expect, swap uint64) (uint64
 	})
 	p.Sleep(sim.Duration(done - p.Now()))
 	if failed {
-		return 0, q.failRemote(p)
+		return 0, q.failVerb(p)
 	}
 	return prev, nil
 }
@@ -300,7 +327,7 @@ func (q *QP) Send(p *sim.Proc, payload any) error {
 	if err := q.checkLocal(); err != nil {
 		return err
 	}
-	if q.remote.crashed {
+	if q.pathDown() || q.dropDrawn() {
 		p.Sleep(q.cfg.PostOverhead)
 		return nil // silently dropped, like an unacked datagram
 	}
@@ -309,9 +336,12 @@ func (q *QP) Send(p *sim.Proc, payload any) error {
 	}
 	done, _ := q.completionTime(q.cfg.SendBase, 64)
 	msg := Message{From: q.local.id, Payload: payload}
+	inbox := q.remote.inbox
 	q.sched.At(done, func() {
-		if !q.remote.crashed {
-			q.remote.inbox.Send(msg)
+		// Deliver only into the same receive queue that existed at issue
+		// time: a crash-recovery in between replaced the inbox.
+		if !q.pathDown() && q.remote.inbox == inbox {
+			inbox.Send(msg)
 		}
 	})
 	p.Sleep(q.cfg.PostOverhead)

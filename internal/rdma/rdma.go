@@ -19,6 +19,7 @@ package rdma
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 
 	"heron/internal/obs"
 	"heron/internal/sim"
@@ -105,6 +106,14 @@ type Fabric struct {
 	cfg   Config
 	nodes map[NodeID]*Node
 	obs   *obs.Observer
+
+	// Per-link fault state and the seeded RNG driving jitter/drop draws
+	// (see faults.go).
+	faults map[linkKey]*linkFault
+	frng   *rand.Rand
+	// resetHooks fire when a path is re-established (heal, node recovery)
+	// so transports can reinitialize desynchronized ring state.
+	resetHooks []func(a, b NodeID)
 }
 
 // NewFabric creates a fabric over the given scheduler.
@@ -112,7 +121,12 @@ func NewFabric(s *sim.Scheduler, cfg Config) *Fabric {
 	if cfg.BytesPerNS <= 0 {
 		cfg.BytesPerNS = 3.125
 	}
-	return &Fabric{sched: s, cfg: cfg, nodes: make(map[NodeID]*Node)}
+	return &Fabric{
+		sched:  s,
+		cfg:    cfg,
+		nodes:  make(map[NodeID]*Node),
+		faults: make(map[linkKey]*linkFault),
+	}
 }
 
 // Scheduler returns the underlying virtual-time scheduler.
@@ -226,9 +240,23 @@ func (n *Node) Crash() {
 	n.inbox.Close()
 }
 
-// Recover clears the crash flag; registered memory survives (the paper's
-// recovery path then runs state transfer to catch the replica up).
-func (n *Node) Recover() { n.crashed = false }
+// Recover rejoins a crashed node to the fabric: registered memory
+// survives (the regions are re-registered with the NIC, keeping their
+// rkeys, as the paper's recovery path assumes), the two-sided inbox is
+// recreated (the old receive queue died with the node), and link-reset
+// hooks fire for every peer so transports reinitialize rings whose
+// producer and consumer cursors desynchronized while writes to the dead
+// node were dropped. The caller then runs the recovery path (state
+// transfer) to catch the hosted replica up.
+func (n *Node) Recover() {
+	if !n.crashed {
+		return
+	}
+	n.crashed = false
+	n.inbox = sim.NewChan[Message](n.fabric.sched)
+	n.fabric.resetNodeLinks(n.id)
+	n.writeNotify.Broadcast()
+}
 
 // WriteNotify returns the condition broadcast after every remote write
 // into this node's memory.

@@ -23,14 +23,18 @@ type Transport struct {
 }
 
 // NewTransport creates a transport over the fabric with the given ring
-// capacity per node pair.
+// capacity per node pair. The transport subscribes to the fabric's
+// link-reset notifications so its rings reinitialize when a partitioned
+// link heals or a crashed node recovers.
 func NewTransport(f *Fabric, ringCap int) *Transport {
-	return &Transport{
+	t := &Transport{
 		fabric:  f,
 		ringCap: ringCap,
 		writers: make(map[[2]NodeID]*MailboxWriter),
 		points:  make(map[NodeID]*Endpoint),
 	}
+	f.OnLinkReset(t.resetLink)
+	return t
 }
 
 // Endpoint is the receiving half of a Transport on one node.
@@ -75,6 +79,40 @@ func (t *Transport) writer(a, b NodeID) *MailboxWriter {
 	return w
 }
 
+// resetLink reinitializes the rings between a and b in both directions:
+// while a path is down, PostWrites are dropped but the producer's tail
+// bookkeeping keeps advancing, so producer and consumer disagree once the
+// path returns. Both halves restart from zero; in-flight records are lost,
+// which the protocol layers tolerate (they already tolerate the drops that
+// caused the desync). Both nodes' pollers are woken so nobody stays
+// blocked on credit or on an empty ring.
+func (t *Transport) resetLink(a, b NodeID) {
+	t.resetOneWay(a, b)
+	t.resetOneWay(b, a)
+}
+
+// resetOneWay reinitializes the ring carrying a -> b traffic, if it exists.
+func (t *Transport) resetOneWay(a, b NodeID) {
+	w, ok := t.writers[[2]NodeID{a, b}]
+	if !ok {
+		return
+	}
+	w.reset()
+	ep := t.points[b]
+	for i, from := range ep.from {
+		if from == a {
+			ep.boxes[i].reset()
+			break
+		}
+	}
+	if n := t.fabric.Node(a); n != nil {
+		n.writeNotify.Broadcast()
+	}
+	if n := t.fabric.Node(b); n != nil {
+		n.writeNotify.Broadcast()
+	}
+}
+
 // Send transmits payload from node `from` to node `to`. It blocks only on
 // ring backpressure. Sends to crashed nodes are silently dropped (the
 // payload lands in memory nobody drains), matching unsignaled RDMA writes.
@@ -88,11 +126,21 @@ func (t *Transport) Send(p *sim.Proc, from, to NodeID, payload []byte) error {
 
 // TryRecv returns the next datagram across all rings, or ok=false.
 // Rings are drained round-robin so a chatty peer cannot starve others.
+// Records too short to carry the sender prefix are garbage from a
+// desynchronized ring (dropped writes under fault injection) and are
+// drained and discarded.
 func (e *Endpoint) TryRecv(p *sim.Proc) (payload []byte, from NodeID, ok bool) {
 	n := len(e.boxes)
 	for i := 0; i < n; i++ {
 		idx := (e.next + i) % n
-		if rec, got := e.boxes[idx].TryRecv(p); got {
+		for {
+			rec, got := e.boxes[idx].TryRecv(p)
+			if !got {
+				break
+			}
+			if len(rec) < 8 {
+				continue
+			}
 			e.next = (idx + 1) % n
 			return rec[8:], NodeID(binary.LittleEndian.Uint64(rec[:8])), true
 		}
