@@ -12,6 +12,7 @@
 //	heron-bench ablation
 //	heron-bench fanout  [-sizes 1,2,4,8,16,32] [-targets 4] [-slot 96]
 //	heron-bench chaos   [-schedules 5] [-seed 1] [-profile churn]
+//	heron-bench reconfig [-scenario split] [-runs 1] [-seed 1]
 //	heron-bench all     [-quick]
 //
 // Every subcommand accepts -json to emit machine-readable results instead
@@ -67,6 +68,8 @@ func main() {
 		err = runFanout(args)
 	case "chaos":
 		err = runChaosCmd(args)
+	case "reconfig":
+		err = runReconfigCmd(args)
 	case "all":
 		err = runAll(args)
 	default:
@@ -81,7 +84,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: heron-bench {fig4|fig5|fig6|fig7|fig8|table1|ablation|workers|fanout|chaos|all} [flags] [-json]")
+	fmt.Fprintln(os.Stderr, "usage: heron-bench {fig4|fig5|fig6|fig7|fig8|table1|ablation|workers|fanout|chaos|reconfig|all} [flags] [-json]")
 }
 
 // formatter is any experiment result renderable as a text table.
@@ -369,6 +372,33 @@ func runChaosCmd(args []string) error {
 	}
 	if !res.AllLinearizable() {
 		return fmt.Errorf("a schedule failed verification (see output)")
+	}
+	return nil
+}
+
+func runReconfigCmd(args []string) error {
+	fs := flag.NewFlagSet("reconfig", flag.ExitOnError)
+	scenario := fs.String("scenario", "", "scenario: scaleout, scalein, split, crash (empty = run all)")
+	runs := fs.Int("runs", 1, "runs of a single scenario; run i uses seed+i (ignored when -scenario is empty)")
+	seed := fs.Int64("seed", 1, "base seed")
+	asJSON := fs.Bool("json", false, "emit machine-readable JSON")
+	oo := addObsFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	o := oo.observer()
+	res, err := bench.RunReconfig(*scenario, *runs, *seed, o)
+	if err != nil {
+		return err
+	}
+	if err := oo.finish(o); err != nil {
+		return err
+	}
+	if err := emit(res, *asJSON); err != nil {
+		return err
+	}
+	if !res.AllConverged() {
+		return fmt.Errorf("a scenario failed verification (see output)")
 	}
 	return nil
 }

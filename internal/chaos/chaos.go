@@ -37,6 +37,10 @@ const (
 	EvSlowLink
 	// EvClearLink removes EvSlowLink degradation from (Part, Rank).
 	EvClearLink
+	// EvReconfig fires the engine's Reconfig hook, letting fault schedules
+	// compose with elastic reconfigurations (internal/reconfig drives the
+	// actual change; the chaos engine only times it).
+	EvReconfig
 )
 
 // String names the kind for reports and traces.
@@ -54,6 +58,8 @@ func (k EventKind) String() string {
 		return "slow-link"
 	case EvClearLink:
 		return "clear-link"
+	case EvReconfig:
+		return "reconfig"
 	}
 	return fmt.Sprintf("event(%d)", int(k))
 }
@@ -95,6 +101,7 @@ type Engine struct {
 	cRecover   *obs.Counter
 	cPartition *obs.Counter
 	cHeal      *obs.Counter
+	cReconfig  *obs.Counter
 
 	// openParts holds the async span of each currently partitioned pair.
 	openParts map[[4]int]*obs.Span
@@ -108,6 +115,15 @@ type Engine struct {
 	// Errors collects event application failures (e.g. recovering a
 	// replica that is not crashed), for the report.
 	Errors []string
+
+	// Reconfig is called for each EvReconfig event. The hook runs in
+	// scheduler-callback context (no sleeping); it typically signals a
+	// driver process that performs the reconfiguration. nil hooks make
+	// EvReconfig a no-op.
+	Reconfig func(Event)
+
+	// Reconfigs counts fired EvReconfig events.
+	Reconfigs int
 }
 
 // Install arms every event of the schedule on the deployment's scheduler.
@@ -121,6 +137,7 @@ func Install(d *core.Deployment, sc Schedule, o *obs.Observer) *Engine {
 		cRecover:   o.Counter("chaos/recover"),
 		cPartition: o.Counter("chaos/partition"),
 		cHeal:      o.Counter("chaos/heal"),
+		cReconfig:  o.Counter("chaos/reconfig"),
 		openParts:  make(map[[4]int]*obs.Span),
 	}
 	for _, ev := range sc.Events {
@@ -215,6 +232,13 @@ func (e *Engine) apply(ev Event) {
 			f.SetLinkDrop(peer, a, 0)
 		}
 		e.track.Instant("clear-link", map[string]any{"part": ev.Part, "rank": ev.Rank})
+	case EvReconfig:
+		e.Reconfigs++
+		e.cReconfig.Inc()
+		e.track.Instant("reconfig", nil)
+		if e.Reconfig != nil {
+			e.Reconfig(ev)
+		}
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"heron/internal/multicast"
+	"heron/internal/obs"
 	"heron/internal/rdma"
 	"heron/internal/sim"
 )
@@ -19,6 +20,20 @@ type Client struct {
 	node   *rdma.Node
 	ep     *rdma.Endpoint
 	lastID multicast.MsgID
+
+	// dropped counts datagrams discarded while waiting for responses
+	// (undecodable, wrong kind, or stale responses to earlier requests).
+	// nil (no-op) until an observer is attached.
+	dropped *obs.Counter
+}
+
+// Observe attaches the client's dropped-datagram counter to an observer.
+// Deployment.NewClient wires it automatically when the deployment is
+// observed first.
+func (c *Client) Observe(o *obs.Observer) {
+	if o != nil {
+		c.dropped = o.Counter("client_dropped_datagrams")
+	}
 }
 
 // LastMsgID returns the multicast id of the most recent Submit, letting
@@ -45,10 +60,12 @@ func (c *Client) Submit(p *sim.Proc, dst []PartitionID, payload []byte) (map[Par
 		}
 		kind, r, kerr := ctlKind(datagram)
 		if kerr != nil || kind != ctlResponse {
+			c.dropped.Inc()
 			continue
 		}
 		m := decodeResponse(r)
 		if r.Err() != nil || m.id != id {
+			c.dropped.Inc()
 			continue // stale response from an earlier request
 		}
 		if want[m.part] {
@@ -82,10 +99,12 @@ func (c *Client) SubmitTimeout(p *sim.Proc, dst []PartitionID, payload []byte, d
 		}
 		kind, r, kerr := ctlKind(datagram)
 		if kerr != nil || kind != ctlResponse {
+			c.dropped.Inc()
 			continue
 		}
 		m := decodeResponse(r)
 		if r.Err() != nil || m.id != id {
+			c.dropped.Inc()
 			continue
 		}
 		if want[m.part] {

@@ -225,6 +225,14 @@ type Config struct {
 	// (de)serializing auxiliary state (Fig. 8's second scenario).
 	SerializeBytesPerNS   float64
 	DeserializeBytesPerNS float64
+	// MaxPartitions / MaxGroupSize cap how far elastic reconfiguration may
+	// grow the deployment. They size the coordination and state-transfer
+	// regions, whose strides must be identical on every replica ever
+	// created, so they are normalized once at deployment creation and a
+	// reconfiguration may never exceed them. Zero means "the initial
+	// layout's size" (a static deployment pays nothing extra).
+	MaxPartitions int
+	MaxGroupSize  int
 }
 
 // DefaultConfig returns a configuration with the paper-calibrated cost

@@ -48,6 +48,17 @@ func NewDeployment(s *sim.Scheduler, cfg Config, newApp AppFactory, parter Parti
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	// Normalize the elastic caps before any replica sizes its regions:
+	// every replica ever created must compute the same coordination-memory
+	// stride, so the caps may only be fixed here, never later.
+	for _, g := range cfg.Multicast.Groups {
+		if len(g) > cfg.MaxGroupSize {
+			cfg.MaxGroupSize = len(g)
+		}
+	}
+	if cfg.MaxPartitions < len(cfg.Multicast.Groups) {
+		cfg.MaxPartitions = len(cfg.Multicast.Groups)
+	}
 	d := &Deployment{
 		Sched:      s,
 		Fabric:     rdma.NewFabric(s, rdma.DefaultConfig()),
@@ -74,7 +85,7 @@ func NewDeployment(s *sim.Scheduler, cfg Config, newApp AppFactory, parter Parti
 			mc := multicast.NewProcess(multicast.OverRDMA(d.TrMC), &d.Cfg.Multicast, multicast.GroupID(g), rank)
 			d.MCProcs[g][rank] = mc
 			app := newApp(PartitionID(g), rank)
-			d.Replicas[g][rank] = newReplica(d.Cfg, d.TrCtl, mc, PartitionID(g), rank, app, parter, seed)
+			d.Replicas[g][rank] = newReplica(d.Cfg, d.TrCtl, mc, PartitionID(g), rank, app, parter, seed, nil)
 			seed++
 		}
 	}
@@ -134,13 +145,15 @@ func (d *Deployment) NewClient() *Client {
 	id := d.nextClient
 	d.nextClient++
 	d.Fabric.AddNode(id)
-	return &Client{
+	c := &Client{
 		cfg:  d.Cfg,
 		mc:   multicast.NewClient(multicast.OverRDMA(d.TrMC), &d.Cfg.Multicast, id),
 		tr:   d.TrCtl,
 		node: d.Fabric.Node(id),
 		ep:   d.TrCtl.Endpoint(id),
 	}
+	c.Observe(d.obsv)
+	return c
 }
 
 // PopulateAll registers and initializes objects on every replica of the

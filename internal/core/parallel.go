@@ -179,6 +179,12 @@ func (r *Replica) runParallelExecutor(p *sim.Proc) {
 		if r.slow > 0 {
 			p.Sleep(r.slow)
 		}
+		// Reconfiguration interception: a config command drains the pool
+		// (barrier) before fencing; epoch checks run before estimation so
+		// the estimator sees the unwrapped payload.
+		if r.interceptReconfig(p, req, pool) {
+			continue
+		}
 		rec := TraceRecord{Delivered: p.Now(), MultiPartition: req.MultiPartition()}
 
 		if !req.MultiPartition() && canEstimate {

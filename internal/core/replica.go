@@ -70,6 +70,17 @@ type Replica struct {
 	lastReq  multicast.Timestamp // Algorithm 1's last_req
 	lastExec multicast.Timestamp // last fully executed request
 
+	// Elastic reconfiguration state (see elastic.go). epoch is the
+	// configuration epoch this replica serves; epoch-tagged requests from
+	// another epoch are rejected with an epoch-mismatch response carrying
+	// cfgBytes (the encoded current configuration). pendingCfg holds a
+	// configuration installed by the reconfiguration driver that activates
+	// once execution reaches its position in the total order.
+	epoch      uint64
+	cfgBytes   []byte
+	pendingCfg *pendingConfig
+	confHook   ConfigHook
+
 	tracer Tracer
 
 	// obs is always non-nil; its instruments are nil (no-op) until
@@ -112,22 +123,34 @@ type objMapEntry struct {
 	missing bool // remote replied "not registered"
 }
 
-// newReplica wires one replica. Called by Deployment.
+// newReplica wires one replica. Called by Deployment. st may carry a
+// pre-built object store (a migration target populated before the replica
+// exists); nil creates a fresh one. Region sizes derive from the
+// deployment's elastic caps (normalized in NewDeployment), NOT the current
+// layout: the coordination stride must be identical on every replica the
+// deployment will ever host.
 func newReplica(cfg *Config, tr *rdma.Transport, mc *multicast.Process, part PartitionID, rank int,
-	app Application, parter Partitioner, seed int64) *Replica {
+	app Application, parter Partitioner, seed int64, st *store.Store) *Replica {
 	node := tr.Endpoint(cfg.Multicast.Groups[part][rank]).Node()
-	maxN := 0
+	maxN := cfg.MaxGroupSize
 	for _, g := range cfg.Multicast.Groups {
 		if len(g) > maxN {
 			maxN = len(g)
 		}
+	}
+	maxParts := cfg.MaxPartitions
+	if maxParts < len(cfg.Multicast.Groups) {
+		maxParts = len(cfg.Multicast.Groups)
+	}
+	if st == nil {
+		st = store.New(node, cfg.StoreCapacity)
 	}
 	r := &Replica{
 		cfg:         cfg,
 		part:        part,
 		rank:        rank,
 		node:        node,
-		st:          store.New(node, cfg.StoreCapacity),
+		st:          st,
 		app:         app,
 		parter:      parter,
 		mc:          mc,
@@ -139,8 +162,8 @@ func newReplica(cfg *Config, tr *rdma.Transport, mc *multicast.Process, part Par
 		queryCond:   sim.NewCond(tr.Fabric().Scheduler()),
 		obs:         &replicaObs{},
 	}
-	r.coordMem = node.RegisterRegion(len(cfg.Multicast.Groups) * maxN * 8)
-	r.stMem = node.RegisterRegion(len(cfg.Multicast.Groups[part]) * stEntrySize)
+	r.coordMem = node.RegisterRegion(maxParts * maxN * 8)
+	r.stMem = node.RegisterRegion(maxN * stEntrySize)
 	r.staging = node.RegisterRegion(cfg.AuxStagingCap)
 	return r
 }
@@ -274,6 +297,12 @@ func (r *Replica) runExecutor(p *sim.Proc) {
 
 		if r.slow > 0 {
 			p.Sleep(r.slow)
+		}
+
+		// Reconfiguration interception: config commands, epoch fencing,
+		// and pending-configuration activation (elastic.go).
+		if r.interceptReconfig(p, req, nil) {
+			continue
 		}
 
 		rec := TraceRecord{Delivered: p.Now(), MultiPartition: req.MultiPartition()}

@@ -85,6 +85,10 @@ type Process struct {
 	lagSince      []sim.Time
 	milestones    []milestone
 	nextHeartbeat sim.Time
+	// reshapePending marks a leader installed by PrepareReshape whose
+	// retained state has not been pushed into the new view's replication
+	// stream yet; the next tick performs the re-replication.
+	reshapePending bool
 
 	// Follower state.
 	leaderDeadline sim.Time
@@ -277,6 +281,10 @@ func (pr *Process) tick(p *sim.Proc) {
 	now := p.Now()
 	switch pr.role {
 	case roleLeader:
+		if pr.reshapePending {
+			pr.reshapePending = false
+			pr.rereplicate(p)
+		}
 		if now >= pr.nextHeartbeat {
 			pr.broadcastGroup(p, encodeCommitIdx(kindHeartbeat, &commitIdxMsg{view: pr.view, commitIdx: pr.commitIdx, truncate: pr.truncateTo}))
 			pr.nextHeartbeat = now + sim.Time(pr.cfg.HeartbeatInterval)

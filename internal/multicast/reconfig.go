@@ -1,0 +1,236 @@
+package multicast
+
+import (
+	"sort"
+
+	"heron/internal/sim"
+)
+
+// Elastic reconfiguration support for the ordering layer. A group reshape
+// (members added or removed) is performed by the reconfiguration driver at
+// one virtual instant: it collects SnapshotForRecovery from every live
+// member, mutates the shared Config.Groups in place, realigns every
+// surviving member with PrepareReshape, bootstraps joiners with
+// Restore+AlignView, and starts fresh groups with SeedClock. All of it
+// happens without yielding, so no protocol message can interleave with a
+// half-reshaped group.
+
+// VotedView returns the highest view this member has voted for. The
+// reconfiguration driver jumps a reshaped group strictly past the maximum
+// voted view of its live members, so records from any pre-reshape leader
+// or candidate are rejected by acceptView afterwards.
+func (pr *Process) VotedView() uint64 { return pr.votedView }
+
+// SeedClock raises the member's logical clock to at least c. Members of a
+// freshly created group are seeded with the clock of the configuration
+// command that created them, so every timestamp the new group proposes
+// exceeds the timestamps of the requests migrated into it.
+func (pr *Process) SeedClock(c uint64) {
+	if c > pr.lc {
+		pr.lc = c
+	}
+}
+
+// AlignView aligns a joiner — a fresh process bootstrapped with Restore —
+// with the view its reshaped group resumed at. Restore leaves the joiner
+// at the pre-reshape view; without the jump it would reject the new
+// leader's records (stale view) or, worse, vote old views back to life.
+func (pr *Process) AlignView(v uint64) {
+	pr.role = roleFollower
+	pr.view = v
+	pr.votedView = v
+	pr.suspectView = v
+	pr.lastAcceptedView = v
+}
+
+// freshestFirst orders snapshots by the view-change rule: highest
+// lastAcceptedView, then longest log.
+func freshestFirst(states []*RecoveryState) []*viewState {
+	sorted := make([]*viewState, 0, len(states))
+	for _, rs := range states {
+		sorted = append(sorted, rs.st)
+	}
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].lastAcceptedView != sorted[j].lastAcceptedView {
+			return sorted[i].lastAcceptedView > sorted[j].lastAcceptedView
+		}
+		return sorted[i].logBase+uint64(len(sorted[i].log)) > sorted[j].logBase+uint64(len(sorted[j].log))
+	})
+	return sorted
+}
+
+// PrepareReshape realigns a surviving member after the shared Config's
+// group membership was mutated. states holds snapshots of ALL members
+// that were live at the instant of the reshape — including members being
+// removed — so any entry committed by a quorum that intersects only
+// removed members still reaches the survivors. newView is the view the
+// reshaped group resumes at; it must exceed every live member's VotedView
+// and must map (mod the new group size) to a surviving live rank.
+//
+// Unlike Restore this preserves the member's delivery progress: the
+// freshest log is grafted around the member's own logBase (the same
+// alignment onResync performs), so `delivered` keeps pointing at the
+// first undelivered entry and nothing is handed to the application twice.
+// The graft is always alignable because truncation only ever advances
+// logBase to a point at or below every member's delivered index.
+func (pr *Process) PrepareReshape(states []*RecoveryState, newView uint64) {
+	if len(states) > 0 {
+		sorted := freshestFirst(states)
+		best := sorted[0]
+
+		// Graft the freshest log around our own base, keeping our prefix.
+		switch {
+		case best.logBase >= pr.logBase:
+			if n := best.logBase - pr.logBase; n <= uint64(len(pr.log)) {
+				pr.log = append(pr.log[:n], best.log...)
+			}
+		default:
+			if skip := pr.logBase - best.logBase; skip <= uint64(len(best.log)) {
+				pr.log = append(pr.log[:0], best.log[skip:]...)
+			}
+		}
+		pr.committed = make(map[MsgID]bool, len(pr.log))
+		for i := range pr.log {
+			pr.committed[pr.log[i].id] = true
+		}
+
+		// Adopt the highest commit index and clock any member had, and
+		// union pendings freshest-first (exactly as adopt/Restore do) so a
+		// message buffered only on a removed member is not lost.
+		pr.pending = make(map[MsgID]*pendingMsg)
+		pr.unproposed = make(map[MsgID]*clientMsg)
+		for _, st := range sorted {
+			if st.commitIdx > pr.commitIdx {
+				pr.commitIdx = st.commitIdx
+			}
+			if st.lc > pr.lc {
+				pr.lc = st.lc
+			}
+			for i := range st.pending {
+				ps := &st.pending[i]
+				if pr.committed[ps.msg.id] || pr.pending[ps.msg.id] != nil {
+					continue
+				}
+				if ps.ownProp == 0 {
+					if _, queued := pr.unproposed[ps.msg.id]; !queued {
+						m := ps.msg
+						pr.unproposed[m.id] = &m
+					}
+					continue
+				}
+				pend := &pendingMsg{msg: ps.msg, ownProp: ps.ownProp, props: make(map[GroupID]Timestamp)}
+				for g, ts := range ps.props {
+					pend.props[g] = ts
+				}
+				pr.pending[ps.msg.id] = pend
+			}
+		}
+		if max := pr.logBase + uint64(len(pr.log)); pr.commitIdx > max {
+			pr.commitIdx = max
+		}
+		for i := range pr.log {
+			if c := pr.log[i].ts.Clock(); c > pr.lc {
+				pr.lc = c
+			}
+		}
+		for _, pend := range pr.pending {
+			if c := pend.ownProp.Clock(); c > pr.lc {
+				pr.lc = c
+			}
+			pr.mergeRemoteProps(pend)
+		}
+	}
+
+	// Resume in the post-reshape view. Quorum bookkeeping is per-view and
+	// per-layout, so it restarts from zero at the new group size.
+	pr.vcSpan.End()
+	pr.view = newView
+	pr.votedView = newView
+	pr.suspectView = newView
+	pr.lastAcceptedView = newView
+	n := pr.n()
+	pr.ackedRep = make([]uint64, n)
+	pr.lagSince = make([]sim.Time, n)
+	pr.repSeq = 0
+	pr.milestones = nil
+	pr.repToGseq = nil
+	pr.vcStates = nil
+	pr.needAck = false
+	now := pr.tr.Scheduler().Now()
+	if pr.leaderRank(newView) == pr.rank {
+		pr.role = roleLeader
+		// The new view's replication stream is empty: every retained entry
+		// and pending must be re-replicated before quorum milestones can
+		// fire again. Doing it from the event loop (not here) keeps the
+		// reshape instant free of sends from a proc that isn't running.
+		pr.reshapePending = true
+		pr.nextHeartbeat = now
+	} else {
+		pr.role = roleFollower
+		pr.leaderDeadline = now + 2*sim.Time(pr.cfg.LeaderTimeout)
+	}
+	pr.deliverCommitted()
+}
+
+// rereplicate pushes the leader's entire retained state into the current
+// view's replication stream: the log (bodies inline — followers may lack
+// them), then the pendings in proposal order, then everything buffered but
+// never proposed. It is the common tail of adopting a view and resuming
+// after a reshape; the caller is responsible for scheduling the next
+// heartbeat.
+func (pr *Process) rereplicate(p *sim.Proc) {
+	// Re-replicate the retained log. Entries below logBase were delivered
+	// by every member before truncation, so no correct member needs them.
+	for i := range pr.log {
+		e := &pr.log[i]
+		pr.repSeq++
+		rec := encodeRepCommit(&repCommit{
+			view:    pr.view,
+			repSeq:  pr.repSeq,
+			gseq:    pr.logBase + uint64(i),
+			id:      e.id,
+			ts:      e.ts,
+			hasBody: true,
+			dst:     e.dst,
+			payload: e.payload,
+		})
+		pr.broadcastGroup(p, rec)
+		pr.recordRepGseq(pr.repSeq, pr.logBase+uint64(i)+1)
+	}
+	logLen := pr.logBase + uint64(len(pr.log))
+	pr.addMilestone(p, pr.repSeq, func(p *sim.Proc) {
+		if logLen > pr.commitIdx {
+			pr.commitIdx = logLen
+			pr.deliverCommitted()
+		}
+		pr.broadcastGroup(p, encodeCommitIdx(kindCommitIdx, &commitIdxMsg{view: pr.view, commitIdx: pr.commitIdx, truncate: pr.truncateTo}))
+	})
+
+	// Re-replicate pending proposals and resume their ordering.
+	pendings := make([]*pendingMsg, 0, len(pr.pending))
+	for _, pend := range pr.pending {
+		pendings = append(pendings, pend)
+	}
+	sort.Slice(pendings, func(i, j int) bool { return pendings[i].ownProp < pendings[j].ownProp })
+	for _, pend := range pendings {
+		pend.propStable = false
+		pr.repSeq++
+		rec := encodeRepProposal(&repProposal{view: pr.view, repSeq: pr.repSeq, msg: pend.msg, prop: pend.ownProp})
+		pr.broadcastGroup(p, rec)
+		pend := pend
+		pr.addMilestone(p, pr.repSeq, func(p *sim.Proc) {
+			pend.propStable = true
+			pr.sendProposals(p, pend)
+			pr.tryDecide(p, pend)
+		})
+	}
+
+	// Propose every buffered client message that never got ordered.
+	// (propose removes the entry from unproposed; deleting during range is
+	// safe.)
+	for id, m := range pr.unproposed {
+		if !pr.committed[id] && pr.pending[id] == nil {
+			pr.propose(p, m)
+		}
+	}
+}

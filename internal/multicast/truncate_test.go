@@ -1,0 +1,119 @@
+package multicast
+
+import "testing"
+
+// truncProcess builds a bare leader with n appended log entries, all
+// committed and delivered, and every follower acked through rep record
+// `acked`. Only the fields truncation reads are populated.
+func truncProcess(n int, acked uint64) *Process {
+	pr := &Process{
+		cfg:      &Config{},
+		role:     roleLeader,
+		rank:     0,
+		ackedRep: []uint64{0, acked, acked},
+	}
+	for i := 0; i < n; i++ {
+		pr.log = append(pr.log, logEntry{ts: Timestamp(i + 1)})
+		// Each append rides replication record i+1.
+		pr.recordRepGseq(uint64(i+1), uint64(i+1))
+	}
+	pr.commitIdx = uint64(n)
+	pr.delivered = uint64(n)
+	return pr
+}
+
+func TestTruncateThresholdDefault(t *testing.T) {
+	pr := &Process{cfg: &Config{}}
+	if got := pr.truncateThreshold(); got != 4096 {
+		t.Fatalf("default threshold = %d, want 4096", got)
+	}
+	pr.cfg.TruncateEvery = 16
+	if got := pr.truncateThreshold(); got != 16 {
+		t.Fatalf("configured threshold = %d, want 16", got)
+	}
+}
+
+func TestSafeTruncationPointFollowerIsZero(t *testing.T) {
+	pr := truncProcess(8, 8)
+	pr.role = roleFollower
+	if got := pr.safeTruncationPoint(); got != 0 {
+		t.Fatalf("follower safe point = %d, want 0", got)
+	}
+}
+
+func TestSafeTruncationPointMinAck(t *testing.T) {
+	pr := truncProcess(8, 8)
+	// One follower lags: acked only through rep record 5.
+	pr.ackedRep[2] = 5
+	if got := pr.safeTruncationPoint(); got != 5 {
+		t.Fatalf("safe point = %d, want 5 (slowest follower)", got)
+	}
+}
+
+func TestSafeTruncationPointClampsToCommitAndDelivered(t *testing.T) {
+	pr := truncProcess(8, 8)
+	pr.commitIdx = 6
+	if got := pr.safeTruncationPoint(); got != 6 {
+		t.Fatalf("safe point = %d, want commitIdx clamp 6", got)
+	}
+	pr.commitIdx = 8
+	pr.delivered = 3
+	if got := pr.safeTruncationPoint(); got != 3 {
+		t.Fatalf("safe point = %d, want delivered clamp 3", got)
+	}
+}
+
+func TestDropPrefixKeepsAbsoluteIndices(t *testing.T) {
+	pr := truncProcess(8, 8)
+	pr.dropPrefix(5)
+	if pr.LogBase() != 5 || pr.LogLen() != 3 {
+		t.Fatalf("base=%d len=%d, want base=5 len=3", pr.LogBase(), pr.LogLen())
+	}
+	// The first retained entry is absolute index 5 (ts 6 in our encoding).
+	if pr.log[0].ts != Timestamp(6) {
+		t.Fatalf("first retained ts = %d, want 6", pr.log[0].ts)
+	}
+	// rep->gseq index pruned below the new base.
+	for _, rg := range pr.repToGseq {
+		if rg.upTo <= pr.LogBase() {
+			t.Fatalf("stale repToGseq entry %+v below base %d", rg, pr.LogBase())
+		}
+	}
+	// Dropping below the base is a no-op.
+	pr.dropPrefix(4)
+	if pr.LogBase() != 5 || pr.LogLen() != 3 {
+		t.Fatalf("drop below base mutated log: base=%d len=%d", pr.LogBase(), pr.LogLen())
+	}
+	// Dropping beyond the log clamps.
+	pr.dropPrefix(100)
+	if pr.LogBase() != 8 || pr.LogLen() != 0 {
+		t.Fatalf("drop past end: base=%d len=%d, want base=8 len=0", pr.LogBase(), pr.LogLen())
+	}
+}
+
+func TestMaybeTruncateBelowThresholdIsNoop(t *testing.T) {
+	pr := truncProcess(8, 8)
+	pr.cfg.TruncateEvery = 100
+	pr.maybeTruncate()
+	if pr.LogBase() != 0 || pr.LogLen() != 8 {
+		t.Fatalf("truncated below threshold: base=%d len=%d", pr.LogBase(), pr.LogLen())
+	}
+}
+
+func TestMaybeTruncateDropsSafePrefix(t *testing.T) {
+	pr := truncProcess(8, 8)
+	pr.cfg.TruncateEvery = 4
+	pr.ackedRep[1] = 6 // slowest follower acked rep record 6
+	pr.maybeTruncate()
+	if pr.LogBase() != 6 || pr.LogLen() != 2 {
+		t.Fatalf("base=%d len=%d, want base=6 len=2", pr.LogBase(), pr.LogLen())
+	}
+	if pr.truncateTo != 6 {
+		t.Fatalf("advertised safe point = %d, want 6", pr.truncateTo)
+	}
+	// Re-running without new acks does nothing (safe <= logBase).
+	pr.maybeTruncate()
+	if pr.LogBase() != 6 || pr.LogLen() != 2 {
+		t.Fatalf("second truncate moved base: base=%d len=%d", pr.LogBase(), pr.LogLen())
+	}
+}

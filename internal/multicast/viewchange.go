@@ -187,62 +187,10 @@ func (pr *Process) adopt(p *sim.Proc) {
 	pr.repToGseq = nil
 	pr.deliverCommitted()
 
-	// Re-replicate the retained log (bodies inline: followers may lack
-	// them). Entries below logBase were delivered by every member before
-	// truncation, so no correct member needs them.
-	for i := range pr.log {
-		e := &pr.log[i]
-		pr.repSeq++
-		rec := encodeRepCommit(&repCommit{
-			view:    pr.view,
-			repSeq:  pr.repSeq,
-			gseq:    pr.logBase + uint64(i),
-			id:      e.id,
-			ts:      e.ts,
-			hasBody: true,
-			dst:     e.dst,
-			payload: e.payload,
-		})
-		pr.broadcastGroup(p, rec)
-		pr.recordRepGseq(pr.repSeq, pr.logBase+uint64(i)+1)
-	}
-	logLen := pr.logBase + uint64(len(pr.log))
-	pr.addMilestone(p, pr.repSeq, func(p *sim.Proc) {
-		if logLen > pr.commitIdx {
-			pr.commitIdx = logLen
-			pr.deliverCommitted()
-		}
-		pr.broadcastGroup(p, encodeCommitIdx(kindCommitIdx, &commitIdxMsg{view: pr.view, commitIdx: pr.commitIdx, truncate: pr.truncateTo}))
-	})
-
-	// Re-replicate pending proposals and resume their ordering.
-	pendings := make([]*pendingMsg, 0, len(pr.pending))
-	for _, pend := range pr.pending {
-		pendings = append(pendings, pend)
-	}
-	sort.Slice(pendings, func(i, j int) bool { return pendings[i].ownProp < pendings[j].ownProp })
-	for _, pend := range pendings {
-		pend.propStable = false
-		pr.repSeq++
-		rec := encodeRepProposal(&repProposal{view: pr.view, repSeq: pr.repSeq, msg: pend.msg, prop: pend.ownProp})
-		pr.broadcastGroup(p, rec)
-		pend := pend
-		pr.addMilestone(p, pr.repSeq, func(p *sim.Proc) {
-			pend.propStable = true
-			pr.sendProposals(p, pend)
-			pr.tryDecide(p, pend)
-		})
-	}
-
-	// Propose every buffered client message that never got ordered —
-	// both those carried in view states and those that arrived in our own
-	// rings while we were a follower or candidate. (propose removes the
-	// entry from unproposed; deleting during range is safe.)
-	for id, m := range pr.unproposed {
-		if !pr.committed[id] && pr.pending[id] == nil {
-			pr.propose(p, m)
-		}
-	}
+	// Push the adopted state into the new view's replication stream so all
+	// members converge (bodies inline, pendings re-proposed, buffered
+	// client messages proposed fresh).
+	pr.rereplicate(p)
 
 	pr.nextHeartbeat = p.Now()
 	pr.tick(p)

@@ -1,0 +1,78 @@
+package reconfig
+
+import (
+	"sort"
+
+	"heron/internal/core"
+	"heron/internal/sim"
+	"heron/internal/store"
+)
+
+// ClientRouter wraps a core.Client with configuration-aware routing: it
+// computes each operation's destination partitions from the objects it
+// touches, tags the payload with its configuration epoch, and on an
+// epoch-mismatch response installs the newer configuration carried in the
+// rejection and resubmits. A rejected request executed on zero replicas
+// (rejection is uniform — the config command is totally ordered against
+// every request), so the retry is a fresh, independent submission.
+type ClientRouter struct {
+	c   *core.Client
+	cfg *Configuration
+
+	// Refreshes counts epoch-mismatch retries (virtual-state only).
+	Refreshes int
+}
+
+// NewClientRouter wraps a client with the given starting configuration.
+func NewClientRouter(c *core.Client, initial *Configuration) *ClientRouter {
+	return &ClientRouter{c: c, cfg: initial}
+}
+
+// Epoch returns the configuration epoch the router currently submits under.
+func (cr *ClientRouter) Epoch() uint64 { return cr.cfg.Epoch }
+
+// Dst maps the objects an operation touches to its destination partitions,
+// sorted and deduplicated.
+func (cr *ClientRouter) Dst(oids []store.OID) []core.PartitionID {
+	seen := make(map[core.PartitionID]bool, len(oids))
+	var dst []core.PartitionID
+	for _, oid := range oids {
+		part := cr.cfg.PartitionOf(oid)
+		if !seen[part] {
+			seen[part] = true
+			dst = append(dst, part)
+		}
+	}
+	sort.Slice(dst, func(i, j int) bool { return dst[i] < dst[j] })
+	return dst
+}
+
+// SubmitTimeout submits one operation touching the given objects and waits
+// for its response, refreshing routing and retrying on epoch mismatches.
+// ok=false means some destination did not respond within the per-attempt
+// timeout. The returned payload is the first destination's response.
+func (cr *ClientRouter) SubmitTimeout(p *sim.Proc, oids []store.OID, payload []byte, d sim.Duration) ([]byte, bool) {
+	// Each mismatch installs a strictly newer epoch, so the retry count is
+	// bounded by the number of reconfigurations; the cap is a safety net.
+	for attempt := 0; attempt < 8; attempt++ {
+		dst := cr.Dst(oids)
+		resp, ok := cr.c.SubmitTimeout(p, dst, core.WrapEpoch(cr.cfg.Epoch, payload), d)
+		if !ok {
+			return nil, false
+		}
+		first := resp[dst[0]]
+		_, cfgBytes, mismatch := core.DecodeEpochMismatch(first)
+		if !mismatch {
+			return first, true
+		}
+		fresh, err := DecodeConfiguration(cfgBytes)
+		if err != nil {
+			return nil, false
+		}
+		if fresh.Epoch > cr.cfg.Epoch {
+			cr.cfg = fresh
+		}
+		cr.Refreshes++
+	}
+	return nil, false
+}

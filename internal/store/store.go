@@ -96,6 +96,14 @@ func (s *Store) Register(oid OID, maxSize int) error {
 	return nil
 }
 
+// SlotMax returns the registered maximum value size of an object —
+// migration targets replicate a source replica's slot layout from
+// Objects() order plus these sizes.
+func (s *Store) SlotMax(oid OID) (int, bool) {
+	m, ok := s.meta[oid]
+	return m.max, ok
+}
+
 // Init installs the initial value of an object with timestamp 0, so any
 // request observes it. It must be called before the object is read.
 func (s *Store) Init(oid OID, val []byte) error {
