@@ -13,6 +13,7 @@
 //	heron-bench fanout  [-sizes 1,2,4,8,16,32] [-targets 4] [-slot 96]
 //	heron-bench chaos   [-schedules 5] [-seed 1] [-profile churn]
 //	heron-bench reconfig [-scenario split] [-runs 1] [-seed 1]
+//	heron-bench recovery [-seeds 2] [-seed 1]
 //	heron-bench all     [-quick]
 //
 // Every subcommand accepts -json to emit machine-readable results instead
@@ -70,6 +71,8 @@ func main() {
 		err = runChaosCmd(args)
 	case "reconfig":
 		err = runReconfigCmd(args)
+	case "recovery":
+		err = runRecoveryCmd(args)
 	case "all":
 		err = runAll(args)
 	default:
@@ -84,7 +87,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: heron-bench {fig4|fig5|fig6|fig7|fig8|table1|ablation|workers|fanout|chaos|reconfig|all} [flags] [-json]")
+	fmt.Fprintln(os.Stderr, "usage: heron-bench {fig4|fig5|fig6|fig7|fig8|table1|ablation|workers|fanout|chaos|reconfig|recovery|all} [flags] [-json]")
 }
 
 // formatter is any experiment result renderable as a text table.
@@ -399,6 +402,32 @@ func runReconfigCmd(args []string) error {
 	}
 	if !res.AllConverged() {
 		return fmt.Errorf("a scenario failed verification (see output)")
+	}
+	return nil
+}
+
+func runRecoveryCmd(args []string) error {
+	fs := flag.NewFlagSet("recovery", flag.ExitOnError)
+	seeds := fs.Int("seeds", 2, "number of seeded crash→recover schedules; seed i uses seed+i")
+	seed := fs.Int64("seed", 1, "base seed")
+	asJSON := fs.Bool("json", false, "emit machine-readable JSON")
+	oo := addObsFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	o := oo.observer()
+	res, err := bench.RunRecovery(*seeds, *seed, o)
+	if err != nil {
+		return err
+	}
+	if err := oo.finish(o); err != nil {
+		return err
+	}
+	if err := emit(res, *asJSON); err != nil {
+		return err
+	}
+	if !res.CheckpointWins() {
+		return fmt.Errorf("checkpoint recovery did not beat the full-transfer baseline (see output)")
 	}
 	return nil
 }

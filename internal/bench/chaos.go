@@ -6,6 +6,7 @@ import (
 
 	"heron/internal/chaos"
 	"heron/internal/obs"
+	"heron/internal/persist"
 )
 
 // ChaosResult is a sweep of seeded chaos schedules: each row is one full
@@ -74,6 +75,12 @@ func RunChaos(schedules int, seed int64, profile string, o *obs.Observer) (*Chao
 		}
 		opt.Schedule = sc
 		opt.Obs = o
+		if prof == "durable" {
+			// The durable profile exercises the checkpoint + delta recovery
+			// path; a wider store makes the delta saving visible.
+			opt.Keys = 64
+			opt.Persist = &persist.Options{}
+		}
 		rep, err := chaos.Run(opt)
 		if err != nil {
 			return nil, fmt.Errorf("schedule %d (profile %s, seed %d): %w", i, prof, seed+int64(i), err)

@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"heron/internal/chaos"
+	"heron/internal/obs"
+	"heron/internal/persist"
+)
+
+// recoveryKeys are the per-partition store sizes swept by RunRecovery —
+// small enough to run quickly, spread enough that the checkpoint + delta
+// saving scales visibly with state size.
+var recoveryKeys = []int{16, 64, 256}
+
+// RecoveryRow compares the two recovery paths for one (seed, store size)
+// pair: the same seeded crash→recover schedule runs once with the
+// checkpointing layer attached and once without, and the row reports
+// what each run shipped over the fabric to bring crashed replicas back.
+type RecoveryRow struct {
+	Seed int64 `json:"seed"`
+	Keys int   `json:"keys"`
+
+	Recoveries     int    `json:"recoveries"`
+	CkptRecoveries uint64 `json:"checkpoint_recoveries"`
+
+	Checkpoints     uint64 `json:"checkpoints"`
+	CheckpointBytes uint64 `json:"checkpoint_bytes"`
+
+	// Transfer bytes shipped by responders during recovery, per path.
+	CkptTransferBytes uint64 `json:"ckpt_transfer_bytes"`
+	FullTransferBytes uint64 `json:"full_transfer_bytes"`
+
+	// Summed per-replica recovery latency (virtual ns), per path.
+	CkptRecoveryNS int64 `json:"ckpt_recovery_ns"`
+	FullRecoveryNS int64 `json:"full_recovery_ns"`
+
+	CkptLinearizable bool `json:"ckpt_linearizable"`
+	FullLinearizable bool `json:"full_linearizable"`
+}
+
+// RecoveryResult is the full sweep. Everything derives from virtual
+// state, so the same flags produce byte-identical JSON.
+type RecoveryResult struct {
+	Rows []*RecoveryRow `json:"rows"`
+}
+
+// CheckpointWins reports whether every row recovered through the
+// checkpoint path, stayed linearizable on both paths, and shipped
+// strictly fewer transfer bytes than the checkpoint-free baseline.
+func (r *RecoveryResult) CheckpointWins() bool {
+	for _, row := range r.Rows {
+		if row.CkptRecoveries == 0 || !row.CkptLinearizable || !row.FullLinearizable {
+			return false
+		}
+		if row.CkptTransferBytes >= row.FullTransferBytes {
+			return false
+		}
+	}
+	return len(r.Rows) > 0
+}
+
+// Format renders the sweep as a table.
+func (r *RecoveryResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %-6s %9s %9s %11s %12s %12s %12s %12s\n",
+		"seed", "keys", "recovers", "ckpt-rec", "ckpt-bytes", "xfer-ckpt", "xfer-full", "rec-ckpt-us", "rec-full-us")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-6d %-6d %9d %9d %11d %12d %12d %12.1f %12.1f\n",
+			row.Seed, row.Keys, row.Recoveries, row.CkptRecoveries,
+			row.CheckpointBytes, row.CkptTransferBytes, row.FullTransferBytes,
+			float64(row.CkptRecoveryNS)/1e3, float64(row.FullRecoveryNS)/1e3)
+	}
+	return b.String()
+}
+
+// runDurableOnce runs one durable schedule at the given store width, with
+// or without the checkpointing layer.
+func runDurableOnce(seed int64, keys int, withCkpt bool, o *obs.Observer) (*chaos.Report, error) {
+	opt := chaos.DefaultOptions()
+	opt.Keys = keys
+	sc, err := chaos.Generate("durable", seed, opt.Partitions, opt.Replicas)
+	if err != nil {
+		return nil, err
+	}
+	opt.Schedule = sc
+	opt.Obs = o
+	if withCkpt {
+		opt.Persist = &persist.Options{}
+	}
+	rep, err := chaos.Run(opt)
+	if err != nil {
+		return nil, err
+	}
+	if rep.Err != "" {
+		return nil, fmt.Errorf("seed %d keys %d (ckpt=%v): %s", seed, keys, withCkpt, rep.Err)
+	}
+	return rep, nil
+}
+
+// RunRecovery sweeps seeded crash→recover schedules across store sizes,
+// running each schedule with checkpoints on and off, and reports recovery
+// time and transfer volume for both paths. Schedule i uses seed base+i.
+func RunRecovery(seeds int, seed int64, o *obs.Observer) (*RecoveryResult, error) {
+	if seeds <= 0 {
+		return nil, fmt.Errorf("bench: recovery needs at least one seed, got %d", seeds)
+	}
+	res := &RecoveryResult{}
+	for i := 0; i < seeds; i++ {
+		for _, keys := range recoveryKeys {
+			ck, err := runDurableOnce(seed+int64(i), keys, true, o)
+			if err != nil {
+				return nil, err
+			}
+			full, err := runDurableOnce(seed+int64(i), keys, false, o)
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, &RecoveryRow{
+				Seed:              seed + int64(i),
+				Keys:              keys,
+				Recoveries:        ck.Recoveries,
+				CkptRecoveries:    ck.CkptRecoveries,
+				Checkpoints:       ck.Checkpoints,
+				CheckpointBytes:   ck.CheckpointBytes,
+				CkptTransferBytes: ck.DeltaTransferBytes + ck.FullTransferBytes,
+				FullTransferBytes: full.DeltaTransferBytes + full.FullTransferBytes,
+				CkptRecoveryNS:    ck.RecoveryNS,
+				FullRecoveryNS:    full.RecoveryNS,
+				CkptLinearizable:  ck.Checked && ck.Linearizable,
+				FullLinearizable:  full.Checked && full.Linearizable,
+			})
+			releaseMemory()
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,97 @@
+package chaos
+
+import (
+	"encoding/json"
+	"testing"
+
+	"heron/internal/persist"
+)
+
+// runDurable runs the durable crash→recover profile, with or without the
+// checkpointing layer, over a store large enough (64 keys per partition)
+// that the delta-vs-full transfer difference is unambiguous.
+func runDurable(t *testing.T, seed int64, withCkpt bool) *Report {
+	t.Helper()
+	opt := DefaultOptions()
+	opt.Keys = 64
+	sc, err := Generate("durable", seed, opt.Partitions, opt.Replicas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Schedule = sc
+	if withCkpt {
+		opt.Persist = &persist.Options{}
+	}
+	rep, err := Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestDurableCrashRecoverLinearizes: crash→recover with checkpoints on
+// must stay linearizable, and the recoveries must actually go through the
+// checkpoint path (restore + delta), not silently fall back to full
+// transfers.
+func TestDurableCrashRecoverLinearizes(t *testing.T) {
+	for _, seed := range []int64{3, 11} {
+		rep := runDurable(t, seed, true)
+		if rep.Err != "" {
+			t.Fatalf("seed %d: %s", seed, rep.Err)
+		}
+		if !rep.Checked || !rep.Linearizable {
+			t.Fatalf("seed %d: history not linearizable (checked=%v)", seed, rep.Checked)
+		}
+		if rep.Crashes == 0 || rep.Recoveries != rep.Crashes {
+			t.Fatalf("seed %d: %d crashes, %d recoveries — schedule did not exercise recovery",
+				seed, rep.Crashes, rep.Recoveries)
+		}
+		if rep.Checkpoints == 0 || rep.CheckpointBytes == 0 {
+			t.Fatalf("seed %d: no checkpoints written (%d ckpts, %d bytes)",
+				seed, rep.Checkpoints, rep.CheckpointBytes)
+		}
+		if rep.CkptRecoveries == 0 {
+			t.Fatalf("seed %d: recoveries bypassed the checkpoint path", seed)
+		}
+	}
+}
+
+// TestDurableDeltaBeatsFullTransfer: with checkpoints, the bytes shipped
+// by peers during recovery must be strictly below the checkpoint-free
+// baseline for the same schedule — the whole point of the delta path.
+func TestDurableDeltaBeatsFullTransfer(t *testing.T) {
+	ck := runDurable(t, 3, true)
+	base := runDurable(t, 3, false)
+	if ck.Err != "" || base.Err != "" {
+		t.Fatalf("runs degraded: ckpt=%q base=%q", ck.Err, base.Err)
+	}
+	if ck.CkptRecoveries == 0 {
+		t.Fatal("checkpointed run performed no checkpoint recoveries")
+	}
+	ckBytes := ck.DeltaTransferBytes + ck.FullTransferBytes
+	baseBytes := base.DeltaTransferBytes + base.FullTransferBytes
+	if baseBytes == 0 {
+		t.Fatal("baseline run shipped no transfer bytes")
+	}
+	if ckBytes >= baseBytes {
+		t.Fatalf("checkpointed transfers (%d B) not below full-transfer baseline (%d B)",
+			ckBytes, baseBytes)
+	}
+}
+
+// TestDurableRunDeterministic: the replay guarantee must hold with the
+// persistence layer attached — same seed, byte-identical JSON report.
+func TestDurableRunDeterministic(t *testing.T) {
+	enc := func() []byte {
+		rep := runDurable(t, 7, true)
+		b, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := enc(), enc()
+	if string(a) != string(b) {
+		t.Fatalf("same seed produced different durable reports:\n%s\n%s", a, b)
+	}
+}

@@ -14,7 +14,7 @@ import (
 // topology) triple always yields the same schedule.
 
 // Profiles lists the generator names, in sweep rotation order.
-var Profiles = []string{"churn", "partitions", "slownic", "mixed"}
+var Profiles = []string{"churn", "partitions", "slownic", "mixed", "durable"}
 
 // genParams bound the fault window. The active window must overlap the
 // client workload (tens of milliseconds); holds are long enough to span
@@ -45,8 +45,10 @@ func Generate(profile string, seed int64, partitions, replicas int) (Schedule, e
 	case "slownic":
 		sc.Events = genSlowNIC(rng, partitions, replicas)
 	case "mixed":
-		n := len(Profiles) - 1 // the concrete profiles before "mixed"
-		pick := Profiles[rng.Intn(n)]
+		// Explicit concrete list (not a slice of Profiles): appending new
+		// profiles must not change existing mixed schedules.
+		concrete := []string{"churn", "partitions", "slownic"}
+		pick := concrete[rng.Intn(len(concrete))]
 		switch pick {
 		case "churn":
 			sc.Events = genChurn(rng, partitions, f)
@@ -58,6 +60,8 @@ func Generate(profile string, seed int64, partitions, replicas int) (Schedule, e
 		// Overlay one independent slow-NIC window on top.
 		sc.Events = append(sc.Events, genSlowNIC(rng, partitions, replicas)...)
 		sortEvents(sc.Events)
+	case "durable":
+		sc.Events = genDurable(rng, partitions, f)
 	case "overload":
 		sc.Events = genOverload(rng, partitions, f)
 	default:
@@ -140,6 +144,30 @@ func genSlowNIC(rng *rand.Rand, partitions, replicas int) []Event {
 		t += hold + gapMin + sim.Duration(rng.Int63n(int64(gapSpan)))
 	}
 	sortEvents(evs)
+	return evs
+}
+
+// genDurable emits sequential single-replica crash→recover rounds, sized
+// for the durable-checkpoint harness: each crashed replica is held down
+// long enough for several checkpoint intervals to elapse on its peers,
+// then recovered — exercising checkpoint restore plus delta transfer
+// (and, across rounds, truncated-log repair paths).
+func genDurable(rng *rand.Rand, partitions, f int) []Event {
+	if f < 1 {
+		return nil
+	}
+	var evs []Event
+	t := genStart
+	for round := 0; round < 2; round++ {
+		part := rng.Intn(partitions)
+		rank := rng.Intn(2*f + 1)
+		hold := holdMin + sim.Duration(rng.Int63n(int64(holdSpan)))
+		evs = append(evs,
+			Event{At: t, Kind: EvCrash, Part: part, Rank: rank},
+			Event{At: t + hold, Kind: EvRecover, Part: part, Rank: rank},
+		)
+		t += hold + gapMin + sim.Duration(rng.Int63n(int64(gapSpan)))
+	}
 	return evs
 }
 

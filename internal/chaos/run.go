@@ -9,6 +9,7 @@ import (
 	"heron/internal/lincheck"
 	"heron/internal/multicast"
 	"heron/internal/obs"
+	"heron/internal/persist"
 	"heron/internal/rdma"
 	"heron/internal/sim"
 )
@@ -34,6 +35,10 @@ type Options struct {
 	// Obs optionally attaches the observability layer to the deployment
 	// and the chaos engine.
 	Obs *obs.Observer
+	// Persist, when non-nil, attaches the durable checkpointing layer:
+	// crashed replicas recover from their own checkpoint plus a delta
+	// transfer instead of a full state transfer.
+	Persist *persist.Options
 }
 
 // DefaultOptions returns a topology and workload sized for the checker:
@@ -73,6 +78,17 @@ type Report struct {
 	Partitions     int    `json:"partitions"`
 	Heals          int    `json:"heals"`
 	StateTransfers uint64 `json:"state_transfers"`
+
+	// Durability metrics (populated when Options.Persist is set; transfer
+	// byte counters are also reported for checkpoint-free runs so the two
+	// recovery paths can be compared).
+	Checkpoints        uint64 `json:"checkpoints,omitempty"`
+	CheckpointBytes    uint64 `json:"checkpoint_bytes,omitempty"`
+	CkptRecoveries     uint64 `json:"checkpoint_recoveries,omitempty"`
+	DeltaTransferBytes uint64 `json:"delta_transfer_bytes,omitempty"`
+	FullTransferBytes  uint64 `json:"full_transfer_bytes,omitempty"`
+	RecoveryNS         int64  `json:"recovery_ns,omitempty"`
+	TruncatedEntries   uint64 `json:"truncated_log_entries,omitempty"`
 
 	Err string `json:"error,omitempty"`
 }
@@ -119,6 +135,11 @@ func Run(opt Options) (*Report, error) {
 	}
 	d.Fabric.SetFaultSeed(opt.Schedule.Seed)
 	d.Observe(opt.Obs)
+	var pl *persist.Layer
+	if opt.Persist != nil {
+		pl = persist.Attach(d, opt.Persist)
+		pl.Observe(opt.Obs)
+	}
 	d.Start()
 	eng := Install(d, opt.Schedule, opt.Obs)
 
@@ -182,8 +203,19 @@ func Run(opt Options) (*Report, error) {
 	rep.Heals = eng.Heals
 	for g := 0; g < d.Partitions(); g++ {
 		for r := 0; r < opt.Replicas; r++ {
-			rep.StateTransfers += d.Replica(core.PartitionID(g), r).StateTransfers()
+			rp := d.Replica(core.PartitionID(g), r)
+			rep.StateTransfers += rp.StateTransfers()
+			rep.CkptRecoveries += rp.CheckpointRecoveries()
+			rep.DeltaTransferBytes += rp.DeltaBytesOut()
+			rep.FullTransferBytes += rp.FullBytesOut()
+			rep.RecoveryNS += int64(rp.RecoveryTime())
+			rep.TruncatedEntries += d.MCProcs[g][r].Truncated()
 		}
+	}
+	if pl != nil {
+		ls := pl.Stats()
+		rep.Checkpoints = ls.Checkpoints
+		rep.CheckpointBytes = ls.CheckpointBytes
 	}
 	if len(eng.Errors) > 0 {
 		rep.Err = eng.Errors[0]

@@ -29,6 +29,10 @@ type replicaObs struct {
 	stateTransfers *obs.Counter
 	readRetries    *obs.Counter
 	postErrors     *obs.Counter
+	ckptRecoveries *obs.Counter
+	stFullBytes    *obs.Counter
+	stDeltaBytes   *obs.Counter
+	stFallbackFull *obs.Counter
 }
 
 // observe resolves the replica's instruments against an observer.
@@ -48,6 +52,10 @@ func (r *Replica) observe(o *obs.Observer, s *sim.Scheduler) {
 		stateTransfers: o.Counter("core/state_transfers"),
 		readRetries:    o.Counter("core/read_retries"),
 		postErrors:     o.Counter("core/post_write_errors"),
+		ckptRecoveries: o.Counter("core/checkpoint_recoveries"),
+		stFullBytes:    o.Counter("core/st_full_bytes"),
+		stDeltaBytes:   o.Counter("core/st_delta_bytes"),
+		stFallbackFull: o.Counter("core/st_fallback_full"),
 	}
 }
 

@@ -10,10 +10,24 @@ import (
 
 // Crash recovery: a crashed replica rejoins by recovering its fabric node,
 // rebuilding its ordering-layer state from the live group members
-// (multicast.Restore), and fast-forwarding its application state through
-// the existing full state-transfer path (Algorithm 3 with req_tmp = 0).
-// Until the transfer completes the replica participates in ordering but
-// neither executes nor serves as a state-transfer responder.
+// (multicast.Restore), and fast-forwarding its application state. Without
+// durable checkpoints that means a full state transfer (Algorithm 3 with
+// req_tmp = 0); with a RecoverySource attached, the replica first reloads
+// its newest durable checkpoint locally and pulls only the delta suffix
+// [snapTmp, rid] from a peer. Until the transfer completes the replica
+// participates in ordering but neither executes nor serves as a
+// state-transfer responder.
+
+// RecoverySource restores a replica's durable checkpoint at the start of
+// recovery. Restore reads the checkpoint from the replica's own simulated
+// persistent medium (charging virtual time to p), installs the object
+// versions and auxiliary state into r, and returns the covered timestamp:
+// every request with Ts <= snapTmp is reflected in the restored state.
+// ok=false (or snapTmp 0) means no usable checkpoint exists and recovery
+// falls back to a full state transfer. internal/persist implements this.
+type RecoverySource interface {
+	Restore(p *sim.Proc, r *Replica) (snapTmp uint64, ok bool)
+}
 
 // rejoin restarts a recovered replica's processes against a replacement
 // multicast process. The fabric node must already be recovered and the
@@ -24,17 +38,39 @@ func (r *Replica) rejoin(s *sim.Scheduler, mc *multicast.Process) {
 	r.start(s)
 }
 
-// recoverIfNeeded is the executor prologue after a rejoin: synchronize the
-// full application state from a live peer, then rebuild the coordination
-// memory so multi-partition requests already past their phases are not
-// waited on forever.
+// recoverIfNeeded is the executor prologue after a rejoin: restore the
+// durable checkpoint if a source is attached, synchronize the remaining
+// application state from a live peer (delta when a checkpoint covered a
+// prefix, full otherwise), then rebuild the coordination memory so
+// multi-partition requests already past their phases are not waited on
+// forever.
 func (r *Replica) recoverIfNeeded(p *sim.Proc) {
 	if !r.recovering {
 		return
 	}
-	r.RequestFullStateTransfer(p)
+	t0 := p.Now()
+	sp := r.obs.exec.BeginAsync("recovery", "recovery_replay")
+	from := uint64(0)
+	if r.recoverySrc != nil {
+		if snapTmp, ok := r.recoverySrc.Restore(p, r); ok && snapTmp > 0 {
+			from = snapTmp
+			r.statCkptRecoveries++
+			r.obs.ckptRecoveries.Inc()
+		}
+	}
+	if from > 0 {
+		r.RequestStateTransferFrom(p, from)
+	} else {
+		r.RequestFullStateTransfer(p)
+	}
+	// The pre-crash update-log tail is separated from the transferred
+	// suffix by an unrecorded gap: only [lastExec+1, ...) is complete.
+	r.st.Log().Reset(uint64(r.lastExec) + 1)
 	r.refreshCoordination(p)
 	r.recovering = false
+	r.statRecoveries++
+	r.statRecoveryTime += sim.Duration(p.Now() - t0)
+	sp.Arg("from", from).End()
 }
 
 // refreshCoordination rebuilds local coordination memory by reading every
@@ -69,8 +105,9 @@ func (r *Replica) refreshCoordination(p *sim.Proc) {
 // node recovers (fresh inbox, reset rings), a replacement multicast
 // process is rebuilt from the live group members' snapshots, and the
 // replica's processes restart in recovering mode — their first act is a
-// full state transfer from a live peer. Returns an error if the replica
-// is not crashed.
+// checkpoint restore + delta pull (with a persistence layer) or a full
+// state transfer from a live peer. Returns an error if the replica is not
+// crashed.
 func (d *Deployment) RecoverReplica(part PartitionID, rank int) error {
 	rep := d.Replicas[part][rank]
 	if !rep.node.Crashed() {
@@ -87,6 +124,11 @@ func (d *Deployment) RecoverReplica(part PartitionID, rank int) error {
 	}
 	mc := multicast.NewProcess(multicast.OverRDMA(d.TrMC), &d.Cfg.Multicast, multicast.GroupID(part), rank)
 	mc.Restore(states)
+	if rep.recoverySrc != nil {
+		// The replacement ordering process must not outrun the durable
+		// gate: re-arm it before the first truncation chance.
+		mc.EnableDurableGate()
+	}
 	if d.obsv != nil {
 		mc.Observe(d.obsv)
 	}

@@ -101,15 +101,26 @@ type Replica struct {
 	// statPostErrors counts one-sided WRITE postings that failed locally
 	// (crashed issuer, bad region) and were dropped.
 	statPostErrors uint64
+	// Recovery and transfer-volume stats (virtual-state only).
+	statRecoveries     uint64
+	statCkptRecoveries uint64
+	statRecoveryTime   sim.Duration
+	statDeltaBytesOut  uint64
+	statFullBytesOut   uint64
 
 	// slow injects an extra delay before each execution (failure
 	// injection: makes this replica a lagger candidate).
 	slow sim.Duration
 
-	// recovering is set between a rejoin and the completion of the full
+	// recovering is set between a rejoin and the completion of the
 	// state transfer that brings the replica back up to date. While set,
 	// the replica does not act as a state-transfer responder.
 	recovering bool
+
+	// recoverySrc optionally restores a durable checkpoint at the start
+	// of recovery, so only the delta suffix is pulled from peers (see
+	// recovery.go). nil keeps the full-state-transfer path.
+	recoverySrc RecoverySource
 }
 
 type objMapKey struct {
@@ -230,6 +241,36 @@ func (r *Replica) notePostError(context string, err error) {
 
 // LastExecuted returns the timestamp of the last fully executed request.
 func (r *Replica) LastExecuted() multicast.Timestamp { return r.lastExec }
+
+// Recoveries returns how many crash recoveries this replica completed.
+func (r *Replica) Recoveries() uint64 { return r.statRecoveries }
+
+// CheckpointRecoveries returns how many recoveries restored a durable
+// checkpoint and pulled only the delta suffix from peers.
+func (r *Replica) CheckpointRecoveries() uint64 { return r.statCkptRecoveries }
+
+// RecoveryTime returns the cumulative virtual time this replica spent in
+// recovery (checkpoint restore + state transfer + coordination refresh).
+func (r *Replica) RecoveryTime() sim.Duration { return r.statRecoveryTime }
+
+// DeltaBytesOut returns the slot and aux bytes this replica shipped as a
+// delta-bounded state-transfer responder.
+func (r *Replica) DeltaBytesOut() uint64 { return r.statDeltaBytesOut }
+
+// FullBytesOut returns the slot and aux bytes this replica shipped as a
+// full state-transfer responder.
+func (r *Replica) FullBytesOut() uint64 { return r.statFullBytesOut }
+
+// Crashed reports whether the replica's fabric node is down.
+func (r *Replica) Crashed() bool { return r.node.Crashed() }
+
+// Recovering reports whether the replica is between a rejoin and the
+// completion of its recovery state transfer.
+func (r *Replica) Recovering() bool { return r.recovering }
+
+// SetRecoverySource installs a durable-checkpoint restorer consulted at
+// the start of every recovery. A persistence layer calls this at attach.
+func (r *Replica) SetRecoverySource(rs RecoverySource) { r.recoverySrc = rs }
 
 // Crash fails the replica's node and kills its processes.
 func (r *Replica) Crash() {

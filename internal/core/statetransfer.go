@@ -37,17 +37,30 @@ func (r *Replica) invokeStateTransfer(p *sim.Proc, req *Request) {
 	e := r.readStEntry(r.rank)
 	r.lastReq = multicast.Timestamp(e.rid)
 	r.lastExec = multicast.Timestamp(e.rid)
+	// The fast-forward from req.Ts to rid leaves an unrecorded gap in the
+	// update log; raise its floor so this replica never serves a delta it
+	// cannot actually cover.
+	r.st.Log().Truncate(e.rid + 1)
+	r.applyStagedAux(p, e)
+}
 
-	if e.auxLen > 0 {
-		if syncer, ok := r.app.(AuxSyncer); ok {
-			data := make([]byte, e.auxLen)
-			copy(data, r.staging.Bytes()[:e.auxLen])
-			if r.cfg.DeserializeBytesPerNS > 0 {
-				p.Sleep(sim.Duration(float64(len(data)) / r.cfg.DeserializeBytesPerNS))
-			}
-			syncer.ApplyAux(data)
-		}
+// applyStagedAux hands the auxiliary snapshot a responder left in the
+// staging region to the application, charging the modeled deserialization
+// cost.
+func (r *Replica) applyStagedAux(p *sim.Proc, e stEntry) {
+	if e.auxLen == 0 {
+		return
 	}
+	syncer, ok := r.app.(AuxSyncer)
+	if !ok {
+		return
+	}
+	data := make([]byte, e.auxLen)
+	copy(data, r.staging.Bytes()[:e.auxLen])
+	if r.cfg.DeserializeBytesPerNS > 0 {
+		p.Sleep(sim.Duration(float64(len(data)) / r.cfg.DeserializeBytesPerNS))
+	}
+	syncer.ApplyAux(data)
 }
 
 // RequestFullStateTransfer synchronizes the replica's complete state from
@@ -70,16 +83,40 @@ func (r *Replica) RequestFullStateTransfer(p *sim.Proc) {
 	e := r.readStEntry(r.rank)
 	r.lastReq = multicast.Timestamp(e.rid)
 	r.lastExec = multicast.Timestamp(e.rid)
-	if e.auxLen > 0 {
-		if syncer, ok := r.app.(AuxSyncer); ok {
-			data := make([]byte, e.auxLen)
-			copy(data, r.staging.Bytes()[:e.auxLen])
-			if r.cfg.DeserializeBytesPerNS > 0 {
-				p.Sleep(sim.Duration(float64(len(data)) / r.cfg.DeserializeBytesPerNS))
-			}
-			syncer.ApplyAux(data)
-		}
+	r.st.Log().Reset(e.rid + 1)
+	r.applyStagedAux(p, e)
+}
+
+// RequestStateTransferFrom synchronizes state from a peer starting at
+// fromTmp — the checkpoint + delta recovery path. The replica already
+// holds a consistent image covering every request with Ts <= fromTmp
+// (restored from its durable checkpoint), so only the suffix
+// [fromTmp, rid] must be pulled. Responders defer until their own
+// execution reaches fromTmp (the request carries it as req_tmp), which
+// some live replica is guaranteed to have done: the crashed replica
+// itself executed fromTmp before checkpointing it, so the multicast
+// delivered it group-wide. fromTmp 0 degrades to a full transfer.
+func (r *Replica) RequestStateTransferFrom(p *sim.Proc, fromTmp uint64) {
+	if fromTmp == 0 {
+		r.RequestFullStateTransfer(p)
+		return
 	}
+	r.statStateTransfer++
+	r.obs.stateTransfers.Inc()
+	sp := r.obs.exec.BeginAsync("st", "delta_state_transfer").Arg("from", fromTmp)
+	defer sp.End()
+	rec := encodeStEntry(stEntry{reqTmp: fromTmp, status: stRequested})
+	off := r.rank * stEntrySize
+	r.writeStRecord(p, off, rec)
+	r.node.WriteNotify().WaitUntil(p, func() bool {
+		e := r.readStEntry(r.rank)
+		return e.status == 0 && e.rid >= fromTmp
+	})
+	e := r.readStEntry(r.rank)
+	r.lastReq = multicast.Timestamp(e.rid)
+	r.lastExec = multicast.Timestamp(e.rid)
+	r.st.Log().Reset(e.rid + 1)
+	r.applyStagedAux(p, e)
 }
 
 // writeStRecord writes a state-transfer memory record at the given offset
@@ -122,19 +159,32 @@ func (r *Replica) performStateTransfer(p *sim.Proc, laggerRank int, reqTmp uint6
 	claim := encodeStEntry(stEntry{reqTmp: reqTmp, status: stClaimed})
 	r.writeStRecord(p, laggerRank*stEntrySize, claim)
 
+	// A delta request can only be served from the update log when the log
+	// still covers the requested range; a truncated (or recovery-reset)
+	// log forces the full path — correct, just more bytes.
+	full := reqTmp == 0
+	if !full && !r.st.Log().Covers(reqTmp) {
+		full = true
+		r.obs.stFallbackFull.Inc()
+	}
+
 	// rid and the aux snapshot are captured in the same virtual instant,
 	// so the auxiliary state reflects exactly the requests up to rid.
 	// Slot bytes may leak slightly newer versions while chunks stream
 	// out; that is harmless because the lagger deterministically
 	// re-executes requests after rid, overwriting them idempotently.
 	rid := uint64(r.lastExec)
+	auxFrom := reqTmp
+	if full {
+		auxFrom = 0
+	}
 	var aux []byte
 	if syncer, ok := r.app.(AuxSyncer); ok {
-		aux = syncer.SnapshotAux(reqTmp, rid)
+		aux = syncer.SnapshotAux(auxFrom, rid)
 	}
 
 	var oids []store.OID
-	if reqTmp == 0 {
+	if full {
 		oids = r.st.Objects()
 	} else {
 		oids = r.st.Log().ObjectsBetween(reqTmp, rid)
@@ -177,6 +227,21 @@ func (r *Replica) performStateTransfer(p *sim.Proc, laggerRank int, reqTmp uint6
 			r.notePostError("state-transfer-aux", qp.PostWrite(p, addr, aux[off:end]))
 		}
 	}
+
+	// Transfer-volume accounting: slot ranges plus aux, split by
+	// delta-vs-full so recovery benchmarks can compare the two paths.
+	sent := uint64(len(aux))
+	for _, rg := range ranges {
+		sent += uint64(rg[1] - rg[0])
+	}
+	if full {
+		r.statFullBytesOut += sent
+		r.obs.stFullBytes.Add(sent)
+	} else {
+		r.statDeltaBytesOut += sent
+		r.obs.stDeltaBytes.Add(sent)
+	}
+	sp.Arg("bytes", sent).Arg("full", full)
 
 	// Completion record (lines 16-17): rid and status 0, written to every
 	// replica. The write to the lagger rides the same queue pair as the

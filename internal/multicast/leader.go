@@ -108,7 +108,13 @@ func (pr *Process) onPropRequest(p *sim.Proc, m *propRequest, from rdma.NodeID) 
 				return
 			}
 		}
-		return // truncated here; another member or a later retry answers
+		// Truncated here: fall back to the snapshot of commit metadata
+		// dropPrefix retained. A memo miss (state restored after the
+		// truncation) stays unanswered; another member or retry covers it.
+		if ts, ok := pr.truncTs[m.id]; ok {
+			pr.send(p, from, encodeProposal(&proposalMsg{fromGroup: pr.group, id: m.id, prop: ts}))
+		}
+		return
 	}
 	if pr.role != roleLeader {
 		return

@@ -72,6 +72,21 @@ type Process struct {
 	// append, the absolute log length it established — used to translate
 	// follower acks into safe truncation points. Pruned on truncation.
 	repToGseq []repGseq
+	// Durable gating (see truncate.go): once a persistence layer enables
+	// the gate, this member never discards entries with timestamps above
+	// its own durable checkpoint — truncation would otherwise destroy the
+	// only copy of ordering state a recovery needs. durableTmp is the
+	// newest locally durable checkpoint timestamp; truncReq asks the
+	// leader to attempt truncation on its next tick regardless of the
+	// retained-entry threshold (set when a new checkpoint lands).
+	durableGate bool
+	durableTmp  Timestamp
+	truncReq    bool
+	// truncTs remembers the final timestamp of committed entries dropped
+	// by truncation, so pull-based proposal repair (kindPropRequest) can
+	// still answer from this snapshot of commit metadata. Rebuilt empty on
+	// Restore/resync, mirroring the committed map's lifecycle.
+	truncTs map[MsgID]Timestamp
 
 	pending     map[MsgID]*pendingMsg
 	remoteProps map[MsgID]map[GroupID]Timestamp
@@ -107,12 +122,14 @@ type Process struct {
 	// Stats counters (read by benchmarks).
 	statDelivered uint64
 	statHandled   uint64
+	statTruncated uint64
 
 	// Observability (all nil until Observe; every use is nil-safe).
 	obsTrack       *obs.Track
 	obsOrderLat    *obs.Histogram
 	obsDelivered   *obs.Counter
 	obsViewChanges *obs.Counter
+	obsTruncated   *obs.Counter
 	obsFirstSeen   map[MsgID]sim.Time
 	vcSpan         *obs.Span
 }
@@ -129,6 +146,7 @@ func (pr *Process) Observe(o *obs.Observer) {
 	pr.obsOrderLat = o.Histogram(fmt.Sprintf("mc/g%d/order_latency", pr.group))
 	pr.obsDelivered = o.Counter(fmt.Sprintf("mc/g%d/delivered", pr.group))
 	pr.obsViewChanges = o.Counter(fmt.Sprintf("mc/g%d/view_changes", pr.group))
+	pr.obsTruncated = o.Counter(fmt.Sprintf("mc/g%d/truncated", pr.group))
 	pr.obsFirstSeen = make(map[MsgID]sim.Time)
 }
 
@@ -284,6 +302,11 @@ func (pr *Process) tick(p *sim.Proc) {
 		if pr.reshapePending {
 			pr.reshapePending = false
 			pr.rereplicate(p)
+		}
+		if pr.truncReq {
+			// A new durable checkpoint landed: attempt truncation now and
+			// advertise the point on the heartbeat below.
+			pr.maybeTruncate()
 		}
 		if now >= pr.nextHeartbeat {
 			pr.broadcastGroup(p, encodeCommitIdx(kindHeartbeat, &commitIdxMsg{view: pr.view, commitIdx: pr.commitIdx, truncate: pr.truncateTo}))
@@ -543,11 +566,18 @@ func (pr *Process) onCommitIdx(p *sim.Proc, m *commitIdxMsg) {
 		pr.deliverCommitted()
 	}
 	// Apply the leader's advertised truncation point, never beyond what
-	// we have delivered ourselves.
+	// we have delivered ourselves nor beyond our own durable checkpoint
+	// when the durable gate is on (the leader clamps to ITS checkpoint;
+	// ours may lag).
 	if m.truncate > 0 {
 		safe := m.truncate
 		if safe > pr.delivered {
 			safe = pr.delivered
+		}
+		if pr.durableGate {
+			if dp := pr.posForTs(pr.durableTmp); dp < safe {
+				safe = dp
+			}
 		}
 		pr.dropPrefix(safe)
 	}

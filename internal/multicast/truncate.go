@@ -1,5 +1,7 @@
 package multicast
 
+import "sort"
+
 // Log truncation bounds a replica's memory in long-running deployments.
 //
 // A group-log prefix can be discarded once every member of the group has
@@ -8,6 +10,14 @@ package multicast
 // follower delivery positions from the acks they already receive;
 // followers learn the group-wide safe point from a field piggybacked on
 // heartbeats.
+//
+// With a persistence layer attached, truncation is additionally gated on
+// durability: each member clamps what it discards to its own durable
+// checkpoint timestamp, so the retained log suffix always reaches back to
+// the newest checkpoint — the delta a checkpoint-based recovery replays.
+// Only the leader decides and advertises truncation points; followers
+// never self-truncate beyond the advertised point (the truncation
+// invariant that view changes and resync grafting rely on).
 //
 // Truncation keeps logical indices stable: the log slice drops a prefix
 // but gseq/commitIdx/delivered remain absolute, offset by logBase.
@@ -19,6 +29,32 @@ func (pr *Process) truncateThreshold() uint64 {
 		return uint64(pr.cfg.TruncateEvery)
 	}
 	return 4096
+}
+
+// EnableDurableGate arms durability gating before the first checkpoint
+// exists: until SetDurableTmp reports one, nothing may be truncated on
+// this member.
+func (pr *Process) EnableDurableGate() { pr.durableGate = true }
+
+// SetDurableTmp records that every delivery with timestamp <= ts is
+// covered by a durable local checkpoint, and asks the leader to attempt a
+// truncation on its next tick even below the retained-entry threshold.
+// Called by the persistence layer after each manifest swap.
+func (pr *Process) SetDurableTmp(ts Timestamp) {
+	pr.durableGate = true
+	if ts > pr.durableTmp {
+		pr.durableTmp = ts
+		pr.truncReq = true
+	}
+}
+
+// posForTs returns the absolute log position just past the last entry
+// with timestamp <= ts. Entries already truncated all had timestamps at
+// or below every past gating point, so counting only the retained suffix
+// (which is timestamp-ordered) is exact.
+func (pr *Process) posForTs(ts Timestamp) uint64 {
+	n := sort.Search(len(pr.log), func(i int) bool { return pr.log[i].ts > ts })
+	return pr.logBase + uint64(n)
 }
 
 // repGseq maps a replication record to the absolute log length it
@@ -35,9 +71,10 @@ func (pr *Process) recordRepGseq(rep, upTo uint64) {
 }
 
 // safeTruncationPoint returns the highest absolute index every member of
-// the group has APPENDED (acked), as known to the leader. Followers
-// additionally clamp to their own delivered position, so advertising
-// this point is always safe.
+// the group has APPENDED (acked), as known to the leader, clamped to the
+// leader's own delivered position and — under durable gating — to its own
+// durable checkpoint. Followers additionally clamp to their own delivered
+// and durable positions, so advertising this point is always safe.
 func (pr *Process) safeTruncationPoint() uint64 {
 	if pr.role != roleLeader {
 		return 0
@@ -66,13 +103,23 @@ func (pr *Process) safeTruncationPoint() uint64 {
 	if safe > pr.delivered {
 		safe = pr.delivered
 	}
+	// Durable gating: never discard entries newer than the local
+	// checkpoint — they are the delta a recovery needs.
+	if pr.durableGate {
+		if dp := pr.posForTs(pr.durableTmp); dp < safe {
+			safe = dp
+		}
+	}
 	return safe
 }
 
-// maybeTruncate drops a delivered-everywhere log prefix. Called by the
-// leader after commit-index advances.
+// maybeTruncate drops a delivered-everywhere (and, when gated, durable)
+// log prefix. Called by the leader after commit-index advances, and from
+// the tick when a fresh checkpoint requested truncation.
 func (pr *Process) maybeTruncate() {
-	if pr.commitIdx-pr.logBase < pr.truncateThreshold() {
+	if pr.truncReq {
+		pr.truncReq = false
+	} else if pr.commitIdx-pr.logBase < pr.truncateThreshold() {
 		return
 	}
 	safe := pr.safeTruncationPoint()
@@ -85,7 +132,8 @@ func (pr *Process) maybeTruncate() {
 	pr.truncateTo = safe
 }
 
-// dropPrefix discards log entries below absolute index `to`.
+// dropPrefix discards log entries below absolute index `to`, memoizing
+// each dropped entry's final timestamp for pull-based proposal repair.
 func (pr *Process) dropPrefix(to uint64) {
 	if to <= pr.logBase {
 		return
@@ -94,6 +142,14 @@ func (pr *Process) dropPrefix(to uint64) {
 	if n > uint64(len(pr.log)) {
 		n = uint64(len(pr.log))
 	}
+	if pr.truncTs == nil {
+		pr.truncTs = make(map[MsgID]Timestamp)
+	}
+	for i := uint64(0); i < n; i++ {
+		pr.truncTs[pr.log[i].id] = pr.log[i].ts
+	}
+	pr.statTruncated += n
+	pr.obsTruncated.Add(n)
 	pr.log = append([]logEntry(nil), pr.log[n:]...)
 	pr.logBase += n
 	// Prune the rep->gseq index below the new base.
@@ -109,3 +165,6 @@ func (pr *Process) LogLen() int { return len(pr.log) }
 
 // LogBase returns the absolute index of the first retained entry.
 func (pr *Process) LogBase() uint64 { return pr.logBase }
+
+// Truncated returns the number of log entries this process dropped.
+func (pr *Process) Truncated() uint64 { return pr.statTruncated }

@@ -100,6 +100,96 @@ func TestMaybeTruncateBelowThresholdIsNoop(t *testing.T) {
 	}
 }
 
+func TestDurableGateBlocksUntilFirstCheckpoint(t *testing.T) {
+	pr := truncProcess(8, 8)
+	pr.cfg.TruncateEvery = 4
+	// Gate armed, but no checkpoint reported yet: nothing may go.
+	pr.EnableDurableGate()
+	pr.maybeTruncate()
+	if pr.LogBase() != 0 || pr.LogLen() != 8 {
+		t.Fatalf("gated truncation dropped entries: base=%d len=%d", pr.LogBase(), pr.LogLen())
+	}
+	// First checkpoint through ts 5: exactly the covered prefix goes.
+	pr.SetDurableTmp(Timestamp(5))
+	pr.maybeTruncate()
+	if pr.LogBase() != 5 || pr.LogLen() != 3 {
+		t.Fatalf("base=%d len=%d, want base=5 len=3", pr.LogBase(), pr.LogLen())
+	}
+}
+
+func TestSetDurableTmpRequestsTruncationBelowThreshold(t *testing.T) {
+	pr := truncProcess(8, 8)
+	// Default 4096-entry threshold would never fire for 8 entries...
+	pr.maybeTruncate()
+	if pr.LogBase() != 0 {
+		t.Fatalf("threshold did not hold: base=%d", pr.LogBase())
+	}
+	// ...but a fresh checkpoint requests an immediate attempt.
+	pr.SetDurableTmp(Timestamp(3))
+	if !pr.truncReq {
+		t.Fatal("SetDurableTmp did not request truncation")
+	}
+	pr.maybeTruncate()
+	if pr.LogBase() != 3 || pr.LogLen() != 5 {
+		t.Fatalf("base=%d len=%d, want base=3 len=5", pr.LogBase(), pr.LogLen())
+	}
+	if pr.truncReq {
+		t.Fatal("truncation request not consumed")
+	}
+	// A stale (non-advancing) checkpoint report requests nothing.
+	pr.SetDurableTmp(Timestamp(2))
+	if pr.truncReq || pr.durableTmp != 3 {
+		t.Fatalf("stale SetDurableTmp mutated state: req=%v tmp=%d", pr.truncReq, pr.durableTmp)
+	}
+}
+
+func TestPosForTsCountsRetainedSuffix(t *testing.T) {
+	pr := truncProcess(8, 8)
+	if got := pr.posForTs(0); got != 0 {
+		t.Fatalf("posForTs(0) = %d, want 0", got)
+	}
+	if got := pr.posForTs(Timestamp(3)); got != 3 {
+		t.Fatalf("posForTs(3) = %d, want 3", got)
+	}
+	if got := pr.posForTs(Timestamp(100)); got != 8 {
+		t.Fatalf("posForTs(100) = %d, want log length 8", got)
+	}
+	// After a truncation, positions stay absolute: everything dropped had
+	// ts <= the old gating point, so the base subsumes it.
+	pr.dropPrefix(4)
+	if got := pr.posForTs(Timestamp(3)); got != 4 {
+		t.Fatalf("posForTs(3) after drop = %d, want base 4", got)
+	}
+	if got := pr.posForTs(Timestamp(6)); got != 6 {
+		t.Fatalf("posForTs(6) after drop = %d, want 6", got)
+	}
+}
+
+func TestDropPrefixMemoizesTimestampsForRepair(t *testing.T) {
+	pr := truncProcess(4, 4)
+	for i := range pr.log {
+		pr.log[i].id = MsgID{Node: 1, Seq: uint64(i + 1)}
+	}
+	pr.dropPrefix(2)
+	// The memo answers kindPropReq for proposals whose entries are gone:
+	// each dropped id must map to its final delivery timestamp.
+	if len(pr.truncTs) != 2 {
+		t.Fatalf("memo holds %d ids, want 2", len(pr.truncTs))
+	}
+	for seq := uint64(1); seq <= 2; seq++ {
+		ts, ok := pr.truncTs[MsgID{Node: 1, Seq: seq}]
+		if !ok || ts != Timestamp(seq) {
+			t.Fatalf("memo[m1-%d] = %d ok=%v, want ts %d", seq, ts, ok, seq)
+		}
+	}
+	if _, ok := pr.truncTs[MsgID{Node: 1, Seq: 3}]; ok {
+		t.Fatal("retained entry leaked into the truncation memo")
+	}
+	if pr.Truncated() != 2 {
+		t.Fatalf("Truncated() = %d, want 2", pr.Truncated())
+	}
+}
+
 func TestMaybeTruncateDropsSafePrefix(t *testing.T) {
 	pr := truncProcess(8, 8)
 	pr.cfg.TruncateEvery = 4

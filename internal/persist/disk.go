@@ -1,0 +1,188 @@
+// Package persist adds a durability layer to a Heron deployment: a
+// simulated persistent medium with a calibrated NVMe-class cost model, a
+// copy-on-write checkpoint engine that bounds the multicast log, and a
+// recovery path that reloads the newest local checkpoint and pulls only
+// the delta suffix from a live peer instead of the full state.
+//
+// Everything is charged to virtual time — the medium never stores real
+// files. Crash semantics follow a real drive: appended bytes become
+// durable only at Sync, the manifest is swapped atomically, and a reader
+// observes exactly the synced prefix of a segment.
+package persist
+
+import (
+	"fmt"
+
+	"heron/internal/sim"
+)
+
+// DiskConfig is the cost model of the simulated medium, calibrated to a
+// datacenter NVMe SSD: tens of microseconds to make a write durable,
+// multi-GB/s streaming bandwidth. Bandwidths are bytes per nanosecond
+// (i.e. GB/s).
+type DiskConfig struct {
+	// WriteLatency is the base cost of landing a write in the device
+	// (charged once per Sync and per manifest swap, not per Append —
+	// appends coalesce in the device write buffer).
+	WriteLatency sim.Duration
+	// FsyncLatency is the flush cost making buffered writes durable.
+	FsyncLatency sim.Duration
+	// ReadLatency is the first-byte cost of a cold read.
+	ReadLatency sim.Duration
+	// WriteBandwidth and ReadBandwidth stream costs, in bytes/ns.
+	WriteBandwidth float64
+	// ReadBandwidth is the sequential read bandwidth, in bytes/ns.
+	ReadBandwidth float64
+}
+
+// DefaultDiskConfig returns the NVMe-class calibration used throughout
+// the benchmarks (see DESIGN.md §10 for the derivation).
+func DefaultDiskConfig() DiskConfig {
+	return DiskConfig{
+		WriteLatency:   16 * sim.Microsecond,
+		FsyncLatency:   30 * sim.Microsecond,
+		ReadLatency:    80 * sim.Microsecond,
+		WriteBandwidth: 2.2,
+		ReadBandwidth:  3.2,
+	}
+}
+
+// withDefaults fills zero fields from the default calibration.
+func (c DiskConfig) withDefaults() DiskConfig {
+	def := DefaultDiskConfig()
+	if c.WriteLatency == 0 {
+		c.WriteLatency = def.WriteLatency
+	}
+	if c.FsyncLatency == 0 {
+		c.FsyncLatency = def.FsyncLatency
+	}
+	if c.ReadLatency == 0 {
+		c.ReadLatency = def.ReadLatency
+	}
+	if c.WriteBandwidth == 0 {
+		c.WriteBandwidth = def.WriteBandwidth
+	}
+	if c.ReadBandwidth == 0 {
+		c.ReadBandwidth = def.ReadBandwidth
+	}
+	return c
+}
+
+// DiskStats aggregates a disk's lifetime activity.
+type DiskStats struct {
+	AppendedBytes  uint64
+	Syncs          uint64
+	ReadBytes      uint64
+	ManifestWrites uint64
+}
+
+// Disk is one replica's simulated persistent medium: a set of named
+// append-only segments plus a single atomically-swapped manifest. The
+// Disk object deliberately lives outside the Replica so it survives
+// Replica.Crash — it models the state that persists across a crash.
+type Disk struct {
+	cfg      DiskConfig
+	segments map[string]*Segment
+	manifest []byte
+	stats    DiskStats
+}
+
+// NewDisk creates an empty medium with the given cost model (zero fields
+// default to the NVMe calibration).
+func NewDisk(cfg DiskConfig) *Disk {
+	return &Disk{cfg: cfg.withDefaults(), segments: make(map[string]*Segment)}
+}
+
+// CreateSegment opens a fresh append-only segment. Creating a name that
+// already exists is a caller bug (segment names embed a sequence number).
+func (d *Disk) CreateSegment(name string) *Segment {
+	if _, ok := d.segments[name]; ok {
+		panic(fmt.Sprintf("persist: segment %q already exists", name))
+	}
+	s := &Segment{disk: d, name: name}
+	d.segments[name] = s
+	return s
+}
+
+// Segment returns the named segment, or nil if it does not exist.
+func (d *Disk) Segment(name string) *Segment { return d.segments[name] }
+
+// RemoveSegment deletes a segment (metadata operation, not charged).
+func (d *Disk) RemoveSegment(name string) { delete(d.segments, name) }
+
+// Segments returns the number of live segments, for tests and GC checks.
+func (d *Disk) Segments() int { return len(d.segments) }
+
+// WriteManifest atomically replaces the manifest. The cost models the
+// classic write-new + fsync + rename + fsync-dir sequence: a base write
+// latency, the streaming cost of the (small) manifest, and two flushes.
+// The swap itself is atomic — a crash mid-write leaves the old manifest.
+func (d *Disk) WriteManifest(p *sim.Proc, data []byte) {
+	cost := d.cfg.WriteLatency + 2*d.cfg.FsyncLatency +
+		sim.Duration(float64(len(data))/d.cfg.WriteBandwidth)
+	p.Sleep(cost)
+	d.manifest = append([]byte(nil), data...)
+	d.stats.ManifestWrites++
+}
+
+// Manifest returns the current manifest bytes (nil before the first
+// swap). Reading it is part of ReadManifest's charged path; this accessor
+// is free for tests.
+func (d *Disk) Manifest() []byte { return d.manifest }
+
+// ReadManifest reads the manifest back, charging the first-byte latency.
+func (d *Disk) ReadManifest(p *sim.Proc) []byte {
+	if d.manifest == nil {
+		return nil
+	}
+	p.Sleep(d.cfg.ReadLatency + sim.Duration(float64(len(d.manifest))/d.cfg.ReadBandwidth))
+	return append([]byte(nil), d.manifest...)
+}
+
+// Stats returns lifetime activity counters.
+func (d *Disk) Stats() DiskStats { return d.stats }
+
+// Segment is an append-only file on the simulated medium. Appends land in
+// the device buffer and cost only streaming bandwidth; Sync makes the
+// buffered suffix durable. ReadAll returns exactly the durable prefix —
+// bytes appended but never synced are lost to a crash.
+type Segment struct {
+	disk   *Disk
+	name   string
+	buf    []byte
+	synced int
+}
+
+// Name returns the segment's name.
+func (s *Segment) Name() string { return s.name }
+
+// Append streams data into the segment's device buffer, charging write
+// bandwidth. The bytes are not durable until Sync.
+func (s *Segment) Append(p *sim.Proc, data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	p.Sleep(sim.Duration(float64(len(data)) / s.disk.cfg.WriteBandwidth))
+	s.buf = append(s.buf, data...)
+	s.disk.stats.AppendedBytes += uint64(len(data))
+}
+
+// Sync makes every appended byte durable, charging the write + flush
+// latency.
+func (s *Segment) Sync(p *sim.Proc) {
+	p.Sleep(s.disk.cfg.WriteLatency + s.disk.cfg.FsyncLatency)
+	s.synced = len(s.buf)
+	s.disk.stats.Syncs++
+}
+
+// Size returns the appended length; Durable the synced prefix length.
+func (s *Segment) Size() int    { return len(s.buf) }
+func (s *Segment) Durable() int { return s.synced }
+
+// ReadAll reads the durable prefix back, charging first-byte latency plus
+// streaming read bandwidth.
+func (s *Segment) ReadAll(p *sim.Proc) []byte {
+	p.Sleep(s.disk.cfg.ReadLatency + sim.Duration(float64(s.synced)/s.disk.cfg.ReadBandwidth))
+	s.disk.stats.ReadBytes += uint64(s.synced)
+	return append([]byte(nil), s.buf[:s.synced]...)
+}

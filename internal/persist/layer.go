@@ -1,0 +1,191 @@
+package persist
+
+import (
+	"fmt"
+
+	"heron/internal/core"
+	"heron/internal/multicast"
+	"heron/internal/obs"
+	"heron/internal/sim"
+)
+
+// multicastTs narrows a store timestamp to the ordering layer's type.
+func multicastTs(v uint64) multicast.Timestamp { return multicast.Timestamp(v) }
+
+// Options configures the persistence layer.
+type Options struct {
+	// Interval between checkpoint attempts per replica (default 400µs —
+	// a few thousand requests of progress per checkpoint at simulated
+	// throughputs).
+	Interval sim.Duration
+	// Disk is the medium cost model; zero fields default to the NVMe
+	// calibration.
+	Disk DiskConfig
+	// KeepSegments is how many checkpoint segments survive GC (default
+	// 2: the manifested one plus its predecessor).
+	KeepSegments int
+	// LogRetention is how many checkpoint intervals of update-log
+	// history each replica retains beyond its own newest checkpoint
+	// (default 16), so it can serve delta transfers to peers whose
+	// checkpoints are a few intervals stale.
+	LogRetention int
+}
+
+// withDefaults fills zero fields.
+func (o Options) withDefaults() Options {
+	if o.Interval == 0 {
+		o.Interval = 400 * sim.Microsecond
+	}
+	o.Disk = o.Disk.withDefaults()
+	if o.KeepSegments == 0 {
+		o.KeepSegments = 2
+	}
+	if o.LogRetention == 0 {
+		o.LogRetention = 16
+	}
+	return o
+}
+
+// LayerStats aggregates the whole deployment's persistence activity.
+type LayerStats struct {
+	Checkpoints     uint64
+	CheckpointBytes uint64
+	Restores        uint64
+	RestoreBytes    uint64
+}
+
+// Layer owns one Disk + Checkpointer per replica and wires them into the
+// deployment: each replica gets a RecoverySource, each multicast process
+// a durability gate. Attach after core.NewDeployment (and Observe) and
+// before Start.
+//
+// The layer also implements reconfig's JoinerSeeder structurally: a
+// joining replica is seeded from a live donor's checkpoint plus a delta
+// transfer instead of a full state transfer.
+type Layer struct {
+	dep  *core.Deployment
+	opt  Options
+	cps  [][]*Checkpointer
+	obsv *obs.Observer
+}
+
+// Attach creates the layer over every current replica of d. opt may be
+// nil for defaults.
+func Attach(d *core.Deployment, opt *Options) *Layer {
+	var o Options
+	if opt != nil {
+		o = *opt
+	}
+	l := &Layer{dep: d, opt: o.withDefaults()}
+	l.cps = make([][]*Checkpointer, len(d.Replicas))
+	for part := range d.Replicas {
+		l.cps[part] = make([]*Checkpointer, len(d.Replicas[part]))
+		for rank := range d.Replicas[part] {
+			l.attachOne(core.PartitionID(part), rank)
+		}
+	}
+	return l
+}
+
+// attachOne builds the disk + checkpointer for one replica, arms the
+// durability gate on its ordering process, installs the recovery source,
+// and spawns the capture loop.
+func (l *Layer) attachOne(part core.PartitionID, rank int) *Checkpointer {
+	rep := l.dep.Replicas[part][rank]
+	c := &Checkpointer{layer: l, part: part, rank: rank, rep: rep, disk: NewDisk(l.opt.Disk)}
+	l.cps[part][rank] = c
+	rep.SetRecoverySource(c)
+	if mc := l.dep.MCProcs[part][rank]; mc != nil {
+		mc.EnableDurableGate()
+	}
+	c.observe(l.obsv)
+	l.dep.Sched.Spawn(fmt.Sprintf("persist-p%d-r%d", part, rank), c.run)
+	return c
+}
+
+// Observe attaches observability instruments (spans on per-node persist
+// tracks, persist/* counters). Call between Attach and the run.
+func (l *Layer) Observe(o *obs.Observer) {
+	if o == nil {
+		return
+	}
+	l.obsv = o
+	for part := range l.cps {
+		for _, c := range l.cps[part] {
+			if c != nil {
+				c.observe(o)
+			}
+		}
+	}
+}
+
+// Checkpointer returns the engine of one replica (nil if the layer never
+// attached one there).
+func (l *Layer) Checkpointer(part core.PartitionID, rank int) *Checkpointer {
+	if int(part) >= len(l.cps) || rank >= len(l.cps[part]) {
+		return nil
+	}
+	return l.cps[part][rank]
+}
+
+// Stats sums every checkpointer's counters.
+func (l *Layer) Stats() LayerStats {
+	var s LayerStats
+	for part := range l.cps {
+		for _, c := range l.cps[part] {
+			if c == nil {
+				continue
+			}
+			cs := c.Stats()
+			s.Checkpoints += cs.Checkpoints
+			s.CheckpointBytes += cs.CheckpointBytes
+			s.Restores += cs.Restores
+			s.RestoreBytes += cs.RestoreBytes
+		}
+	}
+	return s
+}
+
+// joinerSource seeds a reconfiguration joiner: restore from the joiner's
+// own disk if it ever checkpointed (a rejoining member), otherwise from
+// the donor's checkpoint — modeling the donor shipping its newest
+// durable snapshot instead of a full state transfer.
+type joinerSource struct {
+	self  *Checkpointer
+	donor *Checkpointer
+}
+
+// Restore implements core.RecoverySource.
+func (js *joinerSource) Restore(p *sim.Proc, r *core.Replica) (uint64, bool) {
+	if js.self != nil {
+		if snapTmp, ok := js.self.Restore(p, r); ok {
+			return snapTmp, ok
+		}
+	}
+	if js.donor != nil {
+		return js.donor.Restore(p, r)
+	}
+	return 0, false
+}
+
+// JoinerSource implements reconfig.JoinerSeeder: called while a joiner at
+// (part, rank) is being attached, with fromRank naming a live member to
+// borrow a checkpoint from. The joiner also gets its own checkpointer so
+// it is durable from then on.
+func (l *Layer) JoinerSource(part core.PartitionID, fromRank, rank int) core.RecoverySource {
+	for int(part) >= len(l.cps) {
+		l.cps = append(l.cps, nil)
+	}
+	for rank >= len(l.cps[part]) {
+		l.cps[part] = append(l.cps[part], nil)
+	}
+	var donor *Checkpointer
+	if fromRank >= 0 && fromRank < len(l.cps[part]) {
+		donor = l.cps[part][fromRank]
+	}
+	self := l.cps[part][rank]
+	if self == nil {
+		self = l.attachOne(part, rank)
+	}
+	return &joinerSource{self: self, donor: donor}
+}

@@ -30,6 +30,18 @@ type ManagerOptions struct {
 	FenceTimeout sim.Duration
 	// Obs optionally attaches reconfiguration counters.
 	Obs *obs.Observer
+	// Seeder, when set, supplies joiners with a checkpoint-based recovery
+	// source: bring-up ships a durable checkpoint plus a delta transfer
+	// instead of the full state. persist.Layer implements it.
+	Seeder JoinerSeeder
+}
+
+// JoinerSeeder seeds a joining replica's recovery. JoinerSource is called
+// while the joiner at (part, rank) is attached, with fromRank naming the
+// live member whose state the joiner would otherwise full-transfer; a nil
+// return keeps the full-transfer bring-up.
+type JoinerSeeder interface {
+	JoinerSource(part core.PartitionID, fromRank, rank int) core.RecoverySource
 }
 
 // Manager is the configuration service: it owns the current Configuration,
@@ -54,6 +66,7 @@ type Manager struct {
 
 	cond         *sim.Cond
 	fenceTimeout sim.Duration
+	seeder       JoinerSeeder
 
 	attempt *attempt
 	// verdicts/outcomes record the fate of every config command ever
@@ -99,6 +112,7 @@ func NewManager(d *core.Deployment, initial *Configuration, o ManagerOptions) *M
 		qps:          make(map[rdma.NodeID]*rdma.QP),
 		cond:         sim.NewCond(d.Sched),
 		fenceTimeout: o.FenceTimeout,
+		seeder:       o.Seeder,
 		verdicts:     make(map[multicast.MsgID]byte),
 		outcomes:     make(map[multicast.MsgID][]byte),
 		seed:         7001,
@@ -340,6 +354,15 @@ func (m *Manager) flip(a *attempt, next *Configuration, ch Change, oldParts int,
 			rep.InstallPendingConfig(tsC, next.Epoch, next, nextBytes)
 			rep.SetConfigHook(m)
 			rep.MarkRecovering()
+			if m.seeder != nil {
+				// Checkpoint-seeded bring-up: the joiner's recovery restores
+				// a live donor's durable checkpoint and pulls only the delta
+				// suffix (the restore runs in the joiner's own executor
+				// prologue — the flip itself never blocks on it).
+				if rs := m.seeder.JoinerSource(core.PartitionID(part), live[0], rank); rs != nil {
+					rep.SetRecoverySource(rs)
+				}
+			}
 			toStart = append(toStart, startup{mcp, core.PartitionID(part), rank})
 		}
 		if newN < oldN {

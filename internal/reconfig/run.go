@@ -10,6 +10,7 @@ import (
 	"heron/internal/lincheck"
 	"heron/internal/multicast"
 	"heron/internal/obs"
+	"heron/internal/persist"
 	"heron/internal/rdma"
 	"heron/internal/sim"
 	"heron/internal/store"
@@ -174,6 +175,10 @@ type Options struct {
 	CrashAt sim.Duration
 
 	Obs *obs.Observer
+	// Persist, when non-nil, attaches the durable checkpointing layer and
+	// wires it as the manager's JoinerSeeder: joiners bring up from a
+	// donor's checkpoint plus a delta transfer instead of the full state.
+	Persist *persist.Options
 }
 
 // DefaultOptions sizes a scenario for the linearizability checker.
@@ -220,6 +225,10 @@ type Report struct {
 
 	Ops       int `json:"ops"`
 	FailedOps int `json:"failed_ops"`
+
+	// CkptRecoveries counts replica bring-ups that restored a durable
+	// checkpoint before their delta transfer (only with Options.Persist).
+	CkptRecoveries uint64 `json:"checkpoint_recoveries,omitempty"`
 
 	// Checked is false when some operations timed out (indeterminate
 	// effects cannot be expressed to the checker); Linearizable is only
@@ -321,7 +330,13 @@ func Run(o Options) (*Report, error) {
 	}
 	d.Fabric.SetFaultSeed(o.Seed)
 	d.Observe(o.Obs)
-	mgr := NewManager(d, initial, ManagerOptions{Apps: newRKVApp, FenceTimeout: o.FenceTimeout, Obs: o.Obs})
+	var seeder JoinerSeeder
+	if o.Persist != nil {
+		pl := persist.Attach(d, o.Persist)
+		pl.Observe(o.Obs)
+		seeder = pl
+	}
+	mgr := NewManager(d, initial, ManagerOptions{Apps: newRKVApp, FenceTimeout: o.FenceTimeout, Obs: o.Obs, Seeder: seeder})
 	d.Start()
 
 	rep := &Report{
@@ -400,6 +415,9 @@ func Run(o Options) (*Report, error) {
 	rep.PartitionsAfter = d.Partitions()
 	for g := 0; g < d.Partitions(); g++ {
 		rep.ReplicasAfter += len(d.Replicas[g])
+		for _, r := range d.Replicas[g] {
+			rep.CkptRecoveries += r.CheckpointRecoveries()
+		}
 	}
 	rep.EpochAfter = mgr.Current().Epoch
 	rep.Crashes = eng.Crashes

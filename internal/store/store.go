@@ -63,6 +63,9 @@ type Store struct {
 	meta   map[OID]slotMeta
 	order  []OID
 	log    *UpdateLog
+	// snap is the open copy-on-write snapshot, nil outside checkpoints
+	// (see snapshot.go).
+	snap *snapshotState
 }
 
 // New allocates a store with the given region capacity in bytes.
@@ -191,6 +194,7 @@ func (s *Store) Set(oid OID, val []byte, tmp uint64) error {
 	if len(val) > m.max {
 		return fmt.Errorf("%w: %d > %d (oid %d)", ErrTooLarge, len(val), m.max, oid)
 	}
+	s.preserveForSnapshot(oid)
 	buf := s.region.Bytes()
 	tmpA := binary.LittleEndian.Uint64(buf[m.off : m.off+8])
 	tmpB := binary.LittleEndian.Uint64(buf[m.off+versionHdr+m.max : m.off+versionHdr+m.max+8])

@@ -5,8 +5,15 @@ import "sort"
 // UpdateLog records which objects each request updated, in timestamp
 // order. State transfer uses it to bound the set of slots that must be
 // synchronized to a lagger (Algorithm 3, log.get_objects).
+//
+// The log also tracks a coverage floor: the smallest timestamp from which
+// its record sequence is complete. Truncation (and the gap a crash leaves
+// between the pre-crash tail and the state-transfer point) raises the
+// floor; responders consult Covers before serving a delta and fall back
+// to a full transfer when the requested range predates the floor.
 type UpdateLog struct {
 	entries []logRecord
+	floor   uint64
 }
 
 type logRecord struct {
@@ -41,15 +48,37 @@ func (l *UpdateLog) ObjectsBetween(fromTmp, toTmp uint64) []OID {
 }
 
 // Truncate drops records with tmp < beforeTmp, bounding memory for
-// long-running replicas. State transfer for requests older than the
-// truncation point falls back to full-state synchronization.
+// long-running replicas, and raises the coverage floor to beforeTmp.
+// State transfer for requests older than the truncation point must fall
+// back to full-state synchronization (see Covers).
 func (l *UpdateLog) Truncate(beforeTmp uint64) {
+	if beforeTmp > l.floor {
+		l.floor = beforeTmp
+	}
 	lo := sort.Search(len(l.entries), func(i int) bool { return l.entries[i].tmp >= beforeTmp })
 	if lo == 0 {
 		return
 	}
 	l.entries = append([]logRecord(nil), l.entries[lo:]...)
 }
+
+// Reset discards every record and sets the coverage floor: after a crash
+// recovery the pre-crash records are separated from the state-transfer
+// point by an unrecorded gap, so the whole log is rebuilt from floor on.
+// The floor never decreases.
+func (l *UpdateLog) Reset(floor uint64) {
+	l.entries = nil
+	if floor > l.floor {
+		l.floor = floor
+	}
+}
+
+// Covers reports whether ObjectsBetween(fromTmp, ·) is complete: every
+// update with timestamp >= fromTmp is still recorded.
+func (l *UpdateLog) Covers(fromTmp uint64) bool { return fromTmp >= l.floor }
+
+// Floor returns the smallest timestamp from which the log is complete.
+func (l *UpdateLog) Floor() uint64 { return l.floor }
 
 // OldestTmp returns the smallest timestamp still in the log, or 0 when
 // the log is empty.

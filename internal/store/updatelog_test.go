@@ -1,0 +1,176 @@
+package store
+
+import (
+	"testing"
+)
+
+func TestUpdateLogObjectsBetween(t *testing.T) {
+	l := &UpdateLog{}
+	l.Append(1, 10)
+	l.Append(2, 20)
+	l.Append(2, 10) // second update of 10 in the range: reported once
+	l.Append(5, 30)
+
+	got := l.ObjectsBetween(1, 2)
+	if len(got) != 2 || got[0] != 10 || got[1] != 20 {
+		t.Fatalf("ObjectsBetween(1,2) = %v, want [10 20] (first-update order, dedup)", got)
+	}
+	// Inclusive bounds on both ends.
+	got = l.ObjectsBetween(2, 5)
+	if len(got) != 3 || got[0] != 20 || got[1] != 10 || got[2] != 30 {
+		t.Fatalf("ObjectsBetween(2,5) = %v, want [20 10 30]", got)
+	}
+	if got := l.ObjectsBetween(6, 9); len(got) != 0 {
+		t.Fatalf("empty range returned %v", got)
+	}
+}
+
+func TestUpdateLogTruncateRaisesFloor(t *testing.T) {
+	l := &UpdateLog{}
+	for tmp := uint64(1); tmp <= 10; tmp++ {
+		l.Append(tmp, OID(tmp))
+	}
+	if !l.Covers(1) {
+		t.Fatal("fresh log must cover from 1")
+	}
+	l.Truncate(5) // drop entries with tmp < 5
+	if l.Len() != 6 {
+		t.Fatalf("after Truncate(5): %d entries, want 6", l.Len())
+	}
+	if l.Floor() != 5 || l.Covers(4) || !l.Covers(5) {
+		t.Fatalf("floor=%d Covers(4)=%v Covers(5)=%v, want 5/false/true",
+			l.Floor(), l.Covers(4), l.Covers(5))
+	}
+	if got := l.OldestTmp(); got != 5 {
+		t.Fatalf("OldestTmp = %d, want 5", got)
+	}
+	// Truncation never lowers the floor.
+	l.Truncate(3)
+	if l.Floor() != 5 {
+		t.Fatalf("Truncate(3) lowered the floor to %d", l.Floor())
+	}
+	// ObjectsBetween below the floor returns only retained entries.
+	if got := l.ObjectsBetween(1, 10); len(got) != 6 {
+		t.Fatalf("ObjectsBetween over truncated log returned %d oids, want 6", len(got))
+	}
+}
+
+func TestUpdateLogResetClearsButKeepsFloorMonotonic(t *testing.T) {
+	l := &UpdateLog{}
+	for tmp := uint64(1); tmp <= 4; tmp++ {
+		l.Append(tmp, OID(tmp))
+	}
+	l.Reset(9)
+	if l.Len() != 0 || l.Floor() != 9 {
+		t.Fatalf("after Reset(9): len=%d floor=%d, want 0/9", l.Len(), l.Floor())
+	}
+	if l.Covers(8) || !l.Covers(9) {
+		t.Fatal("reset log must cover exactly from its floor")
+	}
+	// A Reset to an older position must not lower the floor: the gap the
+	// higher floor records is still unrecorded.
+	l.Reset(4)
+	if l.Floor() != 9 {
+		t.Fatalf("Reset(4) lowered the floor to %d", l.Floor())
+	}
+	// Appends after the reset serve the suffix as usual.
+	l.Append(9, 70)
+	l.Append(11, 71)
+	if got := l.ObjectsBetween(9, 11); len(got) != 2 {
+		t.Fatalf("post-reset ObjectsBetween = %v, want 2 oids", got)
+	}
+}
+
+func TestSnapshotCOWPreservesVersions(t *testing.T) {
+	st, _, _ := newTestStore(t, 8192)
+	for oid := OID(1); oid <= 3; oid++ {
+		if err := st.Register(oid, 16); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Set(oid, []byte{byte(oid)}, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st.BeginSnapshot(10)
+	// Two post-snapshot writes to oid 1: without copy-on-write the second
+	// would evict the snapshot-visible version from the dual slot.
+	if err := st.Set(1, []byte{101}, 11); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Set(1, []byte{102}, 12); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, ok := st.SnapshotSlot(1)
+	if !ok {
+		t.Fatal("SnapshotSlot(1) missing")
+	}
+	a, b, err := DecodeSlot(raw, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := ChooseVersion(a, b, 11)
+	if !ok || v.Tmp != 10 || len(v.Val) != 1 || v.Val[0] != 1 {
+		t.Fatalf("snapshot of oid 1 = tmp %d val %v, want tmp 10 val [1]", v.Tmp, v.Val)
+	}
+
+	// An object captured BEFORE being written reads from the live slot,
+	// and later writes to it stop copying (saved marker).
+	raw, _ = st.SnapshotSlot(2)
+	a, b, _ = DecodeSlot(raw, 16)
+	if v, _ := ChooseVersion(a, b, 11); v.Tmp != 10 {
+		t.Fatalf("snapshot of oid 2 tmp = %d, want 10", v.Tmp)
+	}
+	if err := st.Set(2, []byte{103}, 13); err != nil {
+		t.Fatal(err)
+	}
+	st.EndSnapshot()
+
+	// Live reads see the post-snapshot values untouched.
+	if val, tmp, _ := st.Get(1); tmp != 12 || val[0] != 102 {
+		t.Fatalf("live Get(1) = %v@%d, want [102]@12", val, tmp)
+	}
+}
+
+func TestNestedSnapshotPanics(t *testing.T) {
+	st, _, _ := newTestStore(t, 4096)
+	st.BeginSnapshot(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nested BeginSnapshot did not panic")
+		}
+	}()
+	st.BeginSnapshot(2)
+}
+
+func TestRestoreVersionZeroesOtherSlot(t *testing.T) {
+	st, _, _ := newTestStore(t, 4096)
+	if err := st.Register(5, 16); err != nil {
+		t.Fatal(err)
+	}
+	// Pre-crash state: two versions, the newer at tmp 20.
+	if err := st.Set(5, []byte{1}, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Set(5, []byte{2}, 20); err != nil {
+		t.Fatal(err)
+	}
+	// Restore an older checkpointed version; the stale tmp-20 version
+	// must not survive in the other slot (volatile memory survives a
+	// simulated crash, a real restore would start from zeroed state).
+	if err := st.RestoreVersion(5, []byte{9}, 15); err != nil {
+		t.Fatal(err)
+	}
+	val, tmp, ok := st.Get(5)
+	if !ok || tmp != 15 || val[0] != 9 {
+		t.Fatalf("Get after restore = %v@%d, want [9]@15", val, tmp)
+	}
+	// GetAt above the restored version must see it, not the stale one.
+	if val, tmp, ok := st.GetAt(5, 100); !ok || tmp != 15 || val[0] != 9 {
+		t.Fatalf("GetAt(100) = %v@%d ok=%v, want [9]@15", val, tmp, ok)
+	}
+	if err := st.RestoreVersion(99, []byte{1}, 1); err == nil {
+		t.Fatal("RestoreVersion of unregistered oid did not error")
+	}
+}
