@@ -14,6 +14,10 @@
 //	heron-bench chaos   [-schedules 5] [-seed 1] [-profile churn]
 //	heron-bench reconfig [-scenario split] [-runs 1] [-seed 1]
 //	heron-bench recovery [-seeds 2] [-seed 1]
+//	heron-bench openloop [-groups 4] [-replicas 3] [-domains 1] [-clients 100000]
+//	                     [-rate 10] [-arrival poisson|pareto] [-shape steady|diurnal|flash]
+//	                     [-window 20ms] [-seed 1]
+//	heron-bench parallel [-groups 8] [-replicas 3] [-clients 100000] [-window 40ms]
 //	heron-bench all     [-quick]
 //
 // Every subcommand accepts -json to emit machine-readable results instead
@@ -73,6 +77,10 @@ func main() {
 		err = runReconfigCmd(args)
 	case "recovery":
 		err = runRecoveryCmd(args)
+	case "openloop":
+		err = runOpenLoopCmd(args)
+	case "parallel":
+		err = runParallelCmd(args)
 	case "all":
 		err = runAll(args)
 	default:
@@ -87,7 +95,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: heron-bench {fig4|fig5|fig6|fig7|fig8|table1|ablation|workers|fanout|chaos|reconfig|recovery|all} [flags] [-json]")
+	fmt.Fprintln(os.Stderr, "usage: heron-bench {fig4|fig5|fig6|fig7|fig8|table1|ablation|workers|fanout|chaos|reconfig|recovery|openloop|parallel|all} [flags] [-json]")
 }
 
 // formatter is any experiment result renderable as a text table.
@@ -430,6 +438,53 @@ func runRecoveryCmd(args []string) error {
 		return fmt.Errorf("checkpoint recovery did not beat the full-transfer baseline (see output)")
 	}
 	return nil
+}
+
+func runOpenLoopCmd(args []string) error {
+	fs := flag.NewFlagSet("openloop", flag.ExitOnError)
+	opts := bench.DefaultOpenLoopOptions()
+	fs.IntVar(&opts.Groups, "groups", opts.Groups, "ordering groups")
+	fs.IntVar(&opts.Replicas, "replicas", opts.Replicas, "replicas per group")
+	fs.IntVar(&opts.Domains, "domains", opts.Domains, "parallel simulation domains (1..groups)")
+	fs.IntVar(&opts.Clients, "clients", opts.Clients, "modeled open-loop client population")
+	fs.Float64Var(&opts.RatePerClient, "rate", opts.RatePerClient, "mean submissions per client per second")
+	fs.IntVar(&opts.PumpsPerGroup, "pumps", opts.PumpsPerGroup, "submission pumps per group")
+	fs.IntVar(&opts.PayloadBytes, "payload", opts.PayloadBytes, "payload bytes per message")
+	fs.IntVar(&opts.MultiGroupPct, "multi", opts.MultiGroupPct, "percent of submissions spanning two groups")
+	fs.Float64Var(&opts.ZipfS, "zipf", opts.ZipfS, "zipf skew of key popularity (>1)")
+	fs.StringVar(&opts.Arrival, "arrival", opts.Arrival, "interarrival law: poisson or pareto")
+	fs.StringVar(&opts.Shape, "shape", opts.Shape, "rate shape: steady, diurnal, or flash")
+	warmup := fs.Duration("warmup", time.Duration(opts.Warmup), "warmup of virtual time")
+	window := fs.Duration("window", time.Duration(opts.Window), "measurement window of virtual time")
+	fs.Int64Var(&opts.Seed, "seed", opts.Seed, "workload seed")
+	asJSON := fs.Bool("json", false, "emit machine-readable JSON (byte-identical across replays)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts.Warmup = sim.Duration(*warmup)
+	opts.Window = sim.Duration(*window)
+	res, err := bench.RunOpenLoop(opts)
+	if err != nil {
+		return err
+	}
+	return emit(res, *asJSON)
+}
+
+func runParallelCmd(args []string) error {
+	fs := flag.NewFlagSet("parallel", flag.ExitOnError)
+	groups := fs.Int("groups", 8, "ordering groups (also the parallel domain count)")
+	replicas := fs.Int("replicas", 3, "replicas per group")
+	clients := fs.Int("clients", 100_000, "modeled open-loop client population")
+	window := fs.Duration("window", 0, "measurement window of virtual time (0 = default)")
+	asJSON := fs.Bool("json", false, "emit machine-readable JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	res, err := bench.RunParallelCompare(*groups, *replicas, *clients, sim.Duration(*window))
+	if err != nil {
+		return err
+	}
+	return emit(res, *asJSON)
 }
 
 func runAll(args []string) error {

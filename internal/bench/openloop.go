@@ -1,0 +1,384 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"heron/internal/multicast"
+	"heron/internal/rdma"
+	"heron/internal/sim"
+)
+
+// Open-loop workload engine.
+//
+// Closed-loop clients (harness.go) cannot model overload: each client
+// waits for its previous request, so the offered load collapses to match
+// the system's capacity. The open-loop engine models a large client
+// population — hundreds of thousands — whose submission times do not
+// depend on the system's responses. Clients are NOT simulated as
+// processes; their aggregate arrival process is generated as a chain of
+// scheduled events (superposed Poisson or heavy-tailed renewal arrivals,
+// optionally shaped over time), and a small number of pump processes per
+// group post the submissions into the replicas' rings. Backlog in a pump
+// is precisely the open-loop queue the population would form at an
+// overloaded front end.
+
+// OpenLoopOptions configure an open-loop run.
+type OpenLoopOptions struct {
+	Groups   int
+	Replicas int
+	// Domains partitions the deployment into parallel simulation domains
+	// (1..Groups); group g lives on domain g % Domains.
+	Domains int
+	// Clients is the modeled client population (not simulated processes).
+	Clients int
+	// RatePerClient is each client's mean submission rate in msgs/sec;
+	// the aggregate offered load is Clients * RatePerClient.
+	RatePerClient float64
+	// PumpsPerGroup is the number of submission pump processes (and client
+	// nodes) collocated with each group.
+	PumpsPerGroup int
+	// PayloadBytes pads every message to this size (min 16).
+	PayloadBytes int
+	// KeySpace and ZipfS shape the key popularity distribution; a key's
+	// home group is key mod Groups. ZipfS must be > 1 (1.07 matches YCSB).
+	KeySpace int
+	ZipfS    float64
+	// MultiGroupPct is the percentage of submissions addressed to two
+	// groups (home plus one other).
+	MultiGroupPct int
+	// Arrival is the interarrival law of the aggregate process per pump:
+	// "poisson" (exponential) or "pareto" (heavy-tailed, alpha=1.5,
+	// bursty).
+	Arrival string
+	// Shape modulates the rate over the run: "steady", "diurnal" (a slow
+	// sinusoidal ramp), or "flash" (a 5x crowd in a 10%-of-window spike).
+	Shape  string
+	Warmup sim.Duration
+	Window sim.Duration
+	Seed   int64
+}
+
+// DefaultOpenLoopOptions returns a 100k-client configuration that a
+// laptop-class machine sustains in seconds.
+func DefaultOpenLoopOptions() OpenLoopOptions {
+	return OpenLoopOptions{
+		Groups:        4,
+		Replicas:      3,
+		Domains:       1,
+		Clients:       100_000,
+		RatePerClient: 10,
+		PumpsPerGroup: 2,
+		PayloadBytes:  64,
+		KeySpace:      1 << 20,
+		ZipfS:         1.07,
+		MultiGroupPct: 10,
+		Arrival:       "poisson",
+		Shape:         "steady",
+		Warmup:        5 * sim.Millisecond,
+		Window:        20 * sim.Millisecond,
+		Seed:          1,
+	}
+}
+
+// OpenLoopResult is the outcome of one open-loop run. It contains no
+// wall-clock fields: two runs of the same options must serialize to
+// byte-identical JSON (replay determinism).
+type OpenLoopResult struct {
+	Groups, Replicas, Domains int
+	Clients                   int
+	OfferedRate               float64 // aggregate msgs/sec
+	Arrival, Shape            string
+
+	Submitted  int    // arrivals generated inside the window
+	Delivered  int    // window submissions delivered at their home group
+	Backlogged int    // arrivals still queued in pumps at the horizon
+	MaxBacklog int    // peak pump queue length (open-loop overload signal)
+	Events     uint64 // simulation events executed
+	VirtualNS  int64  // virtual time simulated
+
+	ThroughputMsgS float64
+	MeanNS         int64
+	P50NS          int64
+	P99NS          int64
+	MaxNS          int64
+}
+
+// arrival is one generated submission.
+type arrival struct {
+	at     sim.Time
+	client uint32
+	key    uint64
+	dual   bool // multicast to two groups
+}
+
+// openPump is one submission pump: a client node plus its arrival queue.
+type openPump struct {
+	cl    *multicast.Client
+	queue *sim.Chan[arrival]
+	rng   *rand.Rand
+	zipf  *rand.Zipf
+	group int
+	// generator state
+	opts    *OpenLoopOptions
+	rate    float64 // aggregate msgs/ns at peak for this pump
+	horizon sim.Time
+	maxQ    int
+	gen     int // arrivals generated in window
+}
+
+// interarrival draws the next gap of the pump's aggregate process, in ns.
+func (pu *openPump) interarrival() sim.Time {
+	mean := 1 / pu.rate // ns between arrivals at peak rate
+	switch pu.opts.Arrival {
+	case "pareto":
+		// Pareto with alpha = 1.5, scaled so the mean matches: heavy
+		// tails produce the bursts a memoryless process never shows.
+		const alpha = 1.5
+		xm := mean * (alpha - 1) / alpha
+		g := xm / math.Pow(pu.rng.Float64(), 1/alpha)
+		if g > 1000*mean {
+			g = 1000 * mean // clip the unbounded tail to keep horizons finite
+		}
+		return sim.Time(g) + 1
+	default: // poisson
+		return sim.Time(pu.rng.ExpFloat64()*mean) + 1
+	}
+}
+
+// shapeAccept thins the peak-rate arrival stream down to the shaped rate
+// at time t (thinning keeps the draws deterministic and cheap).
+func (pu *openPump) shapeAccept(t sim.Time) bool {
+	w := float64(pu.opts.Warmup)
+	span := float64(pu.opts.Window)
+	x := (float64(t) - w) / span // 0..1 inside the window
+	var frac float64
+	switch pu.opts.Shape {
+	case "diurnal":
+		// Half-sine between 40% and 100% of peak across the window.
+		frac = 0.4 + 0.6*math.Sin(math.Pi*math.Min(math.Max(x, 0), 1))
+		if frac > 1 {
+			frac = 1
+		}
+	case "flash":
+		// Baseline 20% of peak with a full-rate flash crowd in
+		// [40%, 50%) of the window.
+		frac = 0.2
+		if x >= 0.4 && x < 0.5 {
+			frac = 1
+		}
+	default:
+		return true
+	}
+	return pu.rng.Float64() < frac
+}
+
+// schedule generates the next arrival event; the chain sustains itself
+// until the horizon.
+func (pu *openPump) schedule(s *sim.Scheduler, at sim.Time) {
+	if at >= pu.horizon {
+		return
+	}
+	s.At(at, func() {
+		next := at + pu.interarrival()
+		if pu.shapeAccept(at) {
+			a := arrival{
+				at:     at,
+				client: uint32(pu.rng.Intn(pu.opts.Clients)),
+				key:    pu.zipf.Uint64(),
+				dual:   pu.rng.Intn(100) < pu.opts.MultiGroupPct,
+			}
+			pu.queue.Send(a)
+			if q := pu.queue.Len(); q > pu.maxQ {
+				pu.maxQ = q
+			}
+			if at >= sim.Time(pu.opts.Warmup) {
+				pu.gen++
+			}
+		}
+		pu.schedule(s, next)
+	})
+}
+
+// encodeOpenLoop packs the measurement header into a payload: submit
+// time, modeled client, home group.
+func encodeOpenLoop(buf []byte, at sim.Time, client uint32, home uint16) {
+	binary.LittleEndian.PutUint64(buf[0:8], uint64(at))
+	binary.LittleEndian.PutUint32(buf[8:12], client)
+	binary.LittleEndian.PutUint16(buf[12:14], home)
+}
+
+// RunOpenLoop executes one open-loop measurement.
+func RunOpenLoop(opts OpenLoopOptions) (*OpenLoopResult, error) {
+	if opts.Groups < 1 || opts.Replicas < 1 || opts.Clients < 1 {
+		return nil, fmt.Errorf("openloop: bad topology %d groups x %d replicas, %d clients",
+			opts.Groups, opts.Replicas, opts.Clients)
+	}
+	if opts.Domains < 1 {
+		opts.Domains = 1
+	}
+	if opts.PumpsPerGroup < 1 {
+		opts.PumpsPerGroup = 1
+	}
+	if opts.PayloadBytes < 16 {
+		opts.PayloadBytes = 16
+	}
+	if opts.ZipfS <= 1 {
+		opts.ZipfS = 1.07
+	}
+	switch opts.Arrival {
+	case "", "poisson", "pareto":
+	default:
+		return nil, fmt.Errorf("openloop: unknown arrival law %q", opts.Arrival)
+	}
+	switch opts.Shape {
+	case "", "steady", "diurnal", "flash":
+	default:
+		return nil, fmt.Errorf("openloop: unknown shape %q", opts.Shape)
+	}
+
+	dc, err := multicast.NewDomainCluster(opts.Groups, opts.Replicas, opts.Domains, opts.PumpsPerGroup, rdma.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	res := &OpenLoopResult{
+		Groups:      opts.Groups,
+		Replicas:    opts.Replicas,
+		Domains:     opts.Domains,
+		Clients:     opts.Clients,
+		OfferedRate: float64(opts.Clients) * opts.RatePerClient,
+		Arrival:     orDefault(opts.Arrival, "poisson"),
+		Shape:       orDefault(opts.Shape, "steady"),
+	}
+	horizon := sim.Time(opts.Warmup) + sim.Time(opts.Window)
+
+	// Home-group latency sinks at every group's rank 0. Each sink is
+	// written only by its group's domain thread.
+	lats := make([]*LatencyRecorder, opts.Groups)
+	delivered := make([]int, opts.Groups)
+	for g := 0; g < opts.Groups; g++ {
+		g := g
+		lats[g] = &LatencyRecorder{}
+		pr := dc.Procs[g][0]
+		dc.SchedOf(g).Spawn(fmt.Sprintf("ol-sink-g%d", g), func(p *sim.Proc) {
+			for {
+				d, ok := pr.Deliveries().Recv(p)
+				if !ok {
+					return
+				}
+				if len(d.Payload) < 14 {
+					continue
+				}
+				at := sim.Time(binary.LittleEndian.Uint64(d.Payload[0:8]))
+				home := int(binary.LittleEndian.Uint16(d.Payload[12:14]))
+				if home != g || at < sim.Time(opts.Warmup) || at >= horizon {
+					continue // counted at its home group, inside the window only
+				}
+				delivered[g]++
+				lats[g].Add(sim.Duration(p.Now() - at))
+			}
+		})
+	}
+
+	// Pumps: the modeled population is split evenly over all pumps; each
+	// pump generates its share of the aggregate arrival process and posts
+	// submissions in arrival order.
+	nPumps := opts.Groups * opts.PumpsPerGroup
+	peakRate := res.OfferedRate / 1e9 / float64(nPumps) // msgs per ns per pump
+	if peakRate <= 0 {
+		return nil, fmt.Errorf("openloop: non-positive offered rate")
+	}
+	pumps := make([]*openPump, 0, nPumps)
+	for g := 0; g < opts.Groups; g++ {
+		for i := 0; i < opts.PumpsPerGroup; i++ {
+			s := dc.SchedOf(g)
+			rng := rand.New(rand.NewSource(opts.Seed + int64(g*opts.PumpsPerGroup+i)*7919))
+			pu := &openPump{
+				cl:      dc.NewClient(g, i),
+				queue:   sim.NewChan[arrival](s),
+				rng:     rng,
+				zipf:    rand.NewZipf(rng, opts.ZipfS, 1, uint64(opts.KeySpace-1)),
+				group:   g,
+				opts:    &opts,
+				rate:    peakRate,
+				horizon: horizon,
+			}
+			pumps = append(pumps, pu)
+			pu.schedule(s, pu.interarrival())
+			g := g
+			s.Spawn(fmt.Sprintf("ol-pump-g%d-%d", g, i), func(p *sim.Proc) {
+				payload := make([]byte, opts.PayloadBytes)
+				for {
+					a, ok := pu.queue.Recv(p)
+					if !ok {
+						return
+					}
+					home := int(a.key) % opts.Groups
+					dst := []multicast.GroupID{multicast.GroupID(home)}
+					if a.dual && opts.Groups > 1 {
+						other := (home + 1 + int(a.key>>32)%(opts.Groups-1)) % opts.Groups
+						dst = append(dst, multicast.GroupID(other))
+					}
+					encodeOpenLoop(payload, a.at, a.client, uint16(home))
+					pu.cl.Multicast(p, dst, payload)
+				}
+			})
+		}
+	}
+
+	// Run to the horizon plus a drain tail so in-flight messages land.
+	if err := dc.RunUntil(horizon + sim.Time(10*sim.Millisecond)); err != nil {
+		return nil, err
+	}
+
+	merged := &LatencyRecorder{}
+	for g := 0; g < opts.Groups; g++ {
+		res.Delivered += delivered[g]
+		for _, sample := range lats[g].Samples() {
+			merged.Add(sample)
+		}
+	}
+	for _, pu := range pumps {
+		res.Submitted += pu.gen
+		if pu.maxQ > res.MaxBacklog {
+			res.MaxBacklog = pu.maxQ
+		}
+		res.Backlogged += pu.queue.Len()
+	}
+	res.Events = dc.Doms.EventCount()
+	res.VirtualNS = int64(dc.Doms.Now())
+	res.ThroughputMsgS = Throughput(res.Delivered, opts.Window)
+	if merged.Count() > 0 {
+		res.MeanNS = int64(merged.Mean())
+		res.P50NS = int64(merged.Percentile(50))
+		res.P99NS = int64(merged.Percentile(99))
+		res.MaxNS = int64(merged.Max())
+	}
+	releaseMemory()
+	return res, nil
+}
+
+func orDefault(s, d string) string {
+	if s == "" {
+		return d
+	}
+	return s
+}
+
+// Format renders the result as a table.
+func (r *OpenLoopResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Open-loop workload: %d clients @ %.0f msg/s aggregate (%s arrivals, %s shape)\n",
+		r.Clients, r.OfferedRate, r.Arrival, r.Shape)
+	fmt.Fprintf(&b, "topology: %d groups x %d replicas over %d domain(s)\n", r.Groups, r.Replicas, r.Domains)
+	fmt.Fprintf(&b, "%-12s %-12s %-12s %-12s %-12s\n", "submitted", "delivered", "backlog", "max_backlog", "events")
+	fmt.Fprintf(&b, "%-12d %-12d %-12d %-12d %-12d\n", r.Submitted, r.Delivered, r.Backlogged, r.MaxBacklog, r.Events)
+	fmt.Fprintf(&b, "throughput: %.0f msg/s\n", r.ThroughputMsgS)
+	fmt.Fprintf(&b, "latency: mean %s  p50 %s  p99 %s  max %s\n",
+		fmtDur(sim.Duration(r.MeanNS)), fmtDur(sim.Duration(r.P50NS)),
+		fmtDur(sim.Duration(r.P99NS)), fmtDur(sim.Duration(r.MaxNS)))
+	return b.String()
+}

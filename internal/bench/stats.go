@@ -28,6 +28,10 @@ func (r *LatencyRecorder) Add(d sim.Duration) {
 // Count returns the number of samples.
 func (r *LatencyRecorder) Count() int { return len(r.samples) }
 
+// Samples returns the recorded samples (unsorted insertion order is not
+// guaranteed once a percentile has been computed).
+func (r *LatencyRecorder) Samples() []sim.Duration { return r.samples }
+
 // Mean returns the average latency.
 func (r *LatencyRecorder) Mean() sim.Duration {
 	if len(r.samples) == 0 {

@@ -1,0 +1,136 @@
+package multicast
+
+import (
+	"fmt"
+
+	"heron/internal/rdma"
+	"heron/internal/sim"
+)
+
+// DomainCluster is a multicast deployment spread over parallel simulation
+// domains: group g's replicas — and the client nodes collocated with the
+// group — live on domain g % Doms.Len(). With one domain the layout
+// degenerates to the classic single-threaded deployment and stays
+// bit-compatible with it; with one domain per group the groups simulate
+// concurrently under the conservative window barrier, coupled only
+// through cross-domain RDMA verbs.
+//
+// Multi-domain deployments run fault-free (see rdma.AddNodeOn): Crash,
+// link faults, and the observability layer are single-domain features.
+type DomainCluster struct {
+	Doms *sim.Domains
+	Fab  *rdma.Fabric
+	Raw  *rdma.Transport
+	Tr   Transport
+	Cfg  Config
+	// Procs[g][r] is the started replica processes.
+	Procs [][]*Process
+	// ClientNodes[g] lists the ids of the client nodes collocated with
+	// group g (all registered on the group's domain).
+	ClientNodes [][]rdma.NodeID
+
+	domains int
+}
+
+// NewDomainCluster builds and starts a groups x replicas multicast
+// deployment over an RDMA fabric with the given config, partitioned into
+// `domains` simulation domains, with clientsPerGroup client nodes
+// collocated with each group. Every node pair the protocol or the clients
+// can ever use is prewired, so the shared transport maps are never
+// mutated during a parallel run.
+func NewDomainCluster(groups, replicas, domains, clientsPerGroup int, netCfg rdma.Config) (*DomainCluster, error) {
+	if domains < 1 || domains > groups {
+		return nil, fmt.Errorf("multicast: %d domains for %d groups (want 1..groups)", domains, groups)
+	}
+	lookahead := netCfg.CrossLookahead()
+	if domains == 1 {
+		lookahead = 0 // single member: Domains runs it directly either way
+	}
+	doms := sim.NewDomains(domains, lookahead)
+	fab := rdma.NewFabric(doms.Domain(0), netCfg)
+
+	layout := make([][]rdma.NodeID, groups)
+	clients := make([][]rdma.NodeID, groups)
+	id := rdma.NodeID(1)
+	for g := 0; g < groups; g++ {
+		s := doms.Domain(g % domains)
+		for r := 0; r < replicas; r++ {
+			fab.AddNodeOn(id, s)
+			layout[g] = append(layout[g], id)
+			id++
+		}
+		for c := 0; c < clientsPerGroup; c++ {
+			fab.AddNodeOn(id, s)
+			clients[g] = append(clients[g], id)
+			id++
+		}
+	}
+
+	raw := rdma.NewTransport(fab, 1<<16)
+	cfg := DefaultConfig(layout)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	tr := OverRDMA(raw)
+
+	// Prewire every ring the run can use: replica<->replica in both
+	// directions (replication, acks, cross-group proposals, view changes
+	// — any rank can become leader) and client->replica (submissions).
+	var pairs [][2]rdma.NodeID
+	var replicaIDs []rdma.NodeID
+	for _, members := range layout {
+		replicaIDs = append(replicaIDs, members...)
+	}
+	for _, a := range replicaIDs {
+		for _, b := range replicaIDs {
+			if a != b {
+				pairs = append(pairs, [2]rdma.NodeID{a, b})
+			}
+		}
+	}
+	for _, cl := range clients {
+		for _, c := range cl {
+			for _, b := range replicaIDs {
+				pairs = append(pairs, [2]rdma.NodeID{c, b})
+			}
+		}
+	}
+	raw.Prewire(pairs)
+
+	dc := &DomainCluster{
+		Doms:        doms,
+		Fab:         fab,
+		Raw:         raw,
+		Tr:          tr,
+		Cfg:         cfg,
+		ClientNodes: clients,
+		domains:     domains,
+	}
+	dc.Procs = make([][]*Process, groups)
+	for g := 0; g < groups; g++ {
+		dc.Procs[g] = make([]*Process, replicas)
+		for r := 0; r < replicas; r++ {
+			pr := NewProcess(tr, &dc.Cfg, GroupID(g), r)
+			pr.Start(dc.SchedOf(g))
+			dc.Procs[g][r] = pr
+		}
+	}
+	return dc, nil
+}
+
+// SchedOf returns the scheduler of the domain hosting group g.
+func (dc *DomainCluster) SchedOf(g int) *sim.Scheduler {
+	return dc.Doms.Domain(g % dc.domains)
+}
+
+// NewClient creates a multicast client on the i'th client node collocated
+// with group g. The client's processes must run on SchedOf(g).
+func (dc *DomainCluster) NewClient(g, i int) *Client {
+	return NewClient(dc.Tr, &dc.Cfg, dc.ClientNodes[g][i])
+}
+
+// Run drives all domains until every event queue drains.
+func (dc *DomainCluster) Run() error { return dc.Doms.Run() }
+
+// RunUntil drives all domains up to (not including) the deadline.
+func (dc *DomainCluster) RunUntil(t sim.Time) error { return dc.Doms.RunUntil(t) }

@@ -1,0 +1,105 @@
+package multicast
+
+import (
+	"fmt"
+	"testing"
+
+	"heron/internal/rdma"
+	"heron/internal/sim"
+)
+
+// runDomainScenario drives a groups x 3 deployment split over `domains`
+// domains: one client per group submits msgs messages (every third one
+// also addressed to the next group), and every replica's delivery
+// sequence is recorded as "id@ts" strings.
+func runDomainScenario(t *testing.T, groups, domains, msgs int) [][][]string {
+	t.Helper()
+	dc, err := NewDomainCluster(groups, 3, domains, 1, rdma.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([][][]string, groups)
+	for g := 0; g < groups; g++ {
+		out[g] = make([][]string, 3)
+		for r := 0; r < 3; r++ {
+			g, r := g, r
+			pr := dc.Procs[g][r]
+			dc.SchedOf(g).Spawn(fmt.Sprintf("sink-g%d-r%d", g, r), func(p *sim.Proc) {
+				for {
+					d, ok := pr.Deliveries().Recv(p)
+					if !ok {
+						return
+					}
+					out[g][r] = append(out[g][r], fmt.Sprintf("%v@%v", d.ID, d.Ts))
+				}
+			})
+		}
+	}
+	for g := 0; g < groups; g++ {
+		g := g
+		cl := dc.NewClient(g, 0)
+		dc.SchedOf(g).Spawn(fmt.Sprintf("client-g%d", g), func(p *sim.Proc) {
+			for i := 0; i < msgs; i++ {
+				dst := []GroupID{GroupID(g)}
+				if i%3 == 0 && groups > 1 {
+					dst = append(dst, GroupID((g+1)%groups))
+				}
+				cl.Multicast(p, dst, []byte(fmt.Sprintf("m%d-%d", g, i)))
+				p.Sleep(20 * sim.Microsecond)
+			}
+		})
+	}
+	if err := dc.RunUntil(sim.Time(20 * sim.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestDomainClusterDelivery: every replica of a group delivers the same
+// sequence, and the expected number of messages arrives.
+func TestDomainClusterDelivery(t *testing.T) {
+	const groups, msgs = 4, 12
+	out := runDomainScenario(t, groups, groups, msgs)
+	for g := 0; g < groups; g++ {
+		// Own messages plus the cross-group ones from the previous group.
+		want := msgs + (msgs+2)/3
+		if len(out[g][0]) != want {
+			t.Fatalf("group %d delivered %d messages, want %d", g, len(out[g][0]), want)
+		}
+		for r := 1; r < 3; r++ {
+			if fmt.Sprint(out[g][r]) != fmt.Sprint(out[g][0]) {
+				t.Fatalf("group %d: replica %d delivery order diverges from rank 0:\n%v\n%v",
+					g, r, out[g][r], out[g][0])
+			}
+		}
+	}
+}
+
+// TestDomainClusterDeterministic: a parallel run reproduces itself
+// exactly — same ids, same timestamps, same order — across executions
+// with different thread interleavings.
+func TestDomainClusterDeterministic(t *testing.T) {
+	const groups, msgs = 3, 10
+	a := runDomainScenario(t, groups, groups, msgs)
+	b := runDomainScenario(t, groups, groups, msgs)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("multi-domain runs diverged:\n%v\n%v", a, b)
+	}
+}
+
+// TestDomainClusterSequentialEquivalence: the same scenario under one
+// domain (classic single-threaded run) delivers the same number of
+// messages per group as the parallel run — the protocol outcome does not
+// depend on the partitioning, even though event timings differ slightly
+// (cross-domain verbs serve remote memory at the service instant).
+func TestDomainClusterSequentialEquivalence(t *testing.T) {
+	const groups, msgs = 3, 10
+	par := runDomainScenario(t, groups, groups, msgs)
+	single := runDomainScenario(t, groups, 1, msgs)
+	for g := 0; g < groups; g++ {
+		if len(par[g][0]) != len(single[g][0]) {
+			t.Fatalf("group %d: parallel delivered %d, single-domain %d",
+				g, len(par[g][0]), len(single[g][0]))
+		}
+	}
+}

@@ -65,14 +65,19 @@ func (pr *Process) sendProposals(p *sim.Proc, pend *pendingMsg) {
 // a proposal lost on the way here, because the remote group stops pushing
 // once it has decided.
 func (pr *Process) retryProposals(p *sim.Proc, now sim.Time) {
+	var stuck []*pendingMsg
 	for _, pend := range pr.pending {
 		if pend.final != 0 || !pend.propStable || len(pend.msg.dst) == 1 {
 			continue
 		}
 		if now-pend.lastSend >= sim.Time(pr.cfg.RetryInterval) {
-			pr.sendProposals(p, pend)
-			pr.requestMissingProps(p, pend)
+			stuck = append(stuck, pend)
 		}
+	}
+	sort.Slice(stuck, func(i, j int) bool { return lessMsgID(stuck[i].msg.id, stuck[j].msg.id) })
+	for _, pend := range stuck {
+		pr.sendProposals(p, pend)
+		pr.requestMissingProps(p, pend)
 	}
 }
 

@@ -74,6 +74,18 @@ type MsgID struct {
 // String implements fmt.Stringer.
 func (id MsgID) String() string { return fmt.Sprintf("m%d-%d", id.Node, id.Seq) }
 
+// lessMsgID orders message IDs by (node, sequence). Protocol loops that
+// walk the pending/unproposed maps and send or propose must do so in this
+// order: ranging over the maps directly would make retransmission and
+// proposal timestamps depend on Go's randomized map iteration, breaking
+// run-to-run determinism.
+func lessMsgID(a, b MsgID) bool {
+	if a.Node != b.Node {
+		return a.Node < b.Node
+	}
+	return a.Seq < b.Seq
+}
+
 // Delivery is a message handed to the application, with its final
 // timestamp. Payload is owned by the receiver.
 type Delivery struct {

@@ -52,6 +52,7 @@ type Process struct {
 	id    rdma.NodeID
 	tr    Transport
 	ep    Endpoint
+	sched *sim.Scheduler // the replica's own simulation domain
 	out   *sim.Chan[Delivery]
 	proc  *sim.Proc
 
@@ -155,6 +156,7 @@ func (pr *Process) Observe(o *obs.Observer) {
 // on the transport's substrate.
 func NewProcess(tr Transport, cfg *Config, g GroupID, rank int) *Process {
 	id := cfg.Groups[g][rank]
+	sched := tr.SchedulerOf(id)
 	pr := &Process{
 		cfg:         cfg,
 		group:       g,
@@ -162,7 +164,8 @@ func NewProcess(tr Transport, cfg *Config, g GroupID, rank int) *Process {
 		id:          id,
 		tr:          tr,
 		ep:          tr.Endpoint(id),
-		out:         sim.NewChan[Delivery](tr.Scheduler()),
+		sched:       sched,
+		out:         sim.NewChan[Delivery](sched),
 		pending:     make(map[MsgID]*pendingMsg),
 		remoteProps: make(map[MsgID]map[GroupID]Timestamp),
 		committed:   make(map[MsgID]bool),
@@ -632,7 +635,7 @@ func (pr *Process) deliverCommitted() {
 		pr.obsDelivered.Inc()
 		if pr.obsFirstSeen != nil {
 			if t0, seen := pr.obsFirstSeen[e.id]; seen {
-				pr.obsOrderLat.Observe(sim.Duration(pr.tr.Scheduler().Now() - t0))
+				pr.obsOrderLat.Observe(sim.Duration(pr.sched.Now() - t0))
 				delete(pr.obsFirstSeen, e.id)
 			}
 		}

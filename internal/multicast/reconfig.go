@@ -156,7 +156,7 @@ func (pr *Process) PrepareReshape(states []*RecoveryState, newView uint64) {
 	pr.repToGseq = nil
 	pr.vcStates = nil
 	pr.needAck = false
-	now := pr.tr.Scheduler().Now()
+	now := pr.sched.Now()
 	if pr.leaderRank(newView) == pr.rank {
 		pr.role = roleLeader
 		// The new view's replication stream is empty: every retained entry
@@ -211,7 +211,12 @@ func (pr *Process) rereplicate(p *sim.Proc) {
 	for _, pend := range pr.pending {
 		pendings = append(pendings, pend)
 	}
-	sort.Slice(pendings, func(i, j int) bool { return pendings[i].ownProp < pendings[j].ownProp })
+	sort.Slice(pendings, func(i, j int) bool {
+		if pendings[i].ownProp != pendings[j].ownProp {
+			return pendings[i].ownProp < pendings[j].ownProp
+		}
+		return lessMsgID(pendings[i].msg.id, pendings[j].msg.id)
+	})
 	for _, pend := range pendings {
 		pend.propStable = false
 		pr.repSeq++
@@ -225,11 +230,15 @@ func (pr *Process) rereplicate(p *sim.Proc) {
 		})
 	}
 
-	// Propose every buffered client message that never got ordered.
-	// (propose removes the entry from unproposed; deleting during range is
-	// safe.)
-	for id, m := range pr.unproposed {
-		if !pr.committed[id] && pr.pending[id] == nil {
+	// Propose every buffered client message that never got ordered, in
+	// message-ID order so their proposal timestamps are deterministic.
+	ids := make([]MsgID, 0, len(pr.unproposed))
+	for id := range pr.unproposed {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return lessMsgID(ids[i], ids[j]) })
+	for _, id := range ids {
+		if m := pr.unproposed[id]; m != nil && !pr.committed[id] && pr.pending[id] == nil {
 			pr.propose(p, m)
 		}
 	}

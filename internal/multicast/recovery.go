@@ -62,7 +62,9 @@ func (pr *Process) Restore(states []*RecoveryState) {
 	for _, rs := range states {
 		sorted = append(sorted, rs.st)
 	}
-	sort.Slice(sorted, func(i, j int) bool {
+	// Stable sort: ties on (lastAcceptedView, log length) fall back to the
+	// caller's (deterministic, rank-ordered) slice order.
+	sort.SliceStable(sorted, func(i, j int) bool {
 		if sorted[i].lastAcceptedView != sorted[j].lastAcceptedView {
 			return sorted[i].lastAcceptedView > sorted[j].lastAcceptedView
 		}

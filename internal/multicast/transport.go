@@ -13,8 +13,13 @@ import (
 // paper's comparison: identical ordering logic, different communication
 // substrate.
 type Transport interface {
-	// Scheduler returns the virtual-time scheduler.
+	// Scheduler returns the virtual-time scheduler of the substrate's
+	// default simulation domain.
 	Scheduler() *sim.Scheduler
+	// SchedulerOf returns the scheduler of the simulation domain hosting
+	// node id. In a single-domain deployment it equals Scheduler(); in a
+	// multi-domain run each node lives in the domain it was created on.
+	SchedulerOf(id rdma.NodeID) *sim.Scheduler
 	// Send transmits a datagram; it may block briefly (posting cost or
 	// backpressure) but not wait for the receiver.
 	Send(p *sim.Proc, from, to rdma.NodeID, payload []byte) error
@@ -45,6 +50,10 @@ type rdmaTransport struct {
 func OverRDMA(t *rdma.Transport) Transport { return &rdmaTransport{t: t} }
 
 func (a *rdmaTransport) Scheduler() *sim.Scheduler { return a.t.Fabric().Scheduler() }
+
+func (a *rdmaTransport) SchedulerOf(id rdma.NodeID) *sim.Scheduler {
+	return a.t.Fabric().Node(id).Scheduler()
+}
 
 func (a *rdmaTransport) Send(p *sim.Proc, from, to rdma.NodeID, payload []byte) error {
 	return a.t.Send(p, from, to, payload)
@@ -80,6 +89,10 @@ type msgnetTransport struct {
 func OverMsgNet(n *msgnet.Network) Transport { return &msgnetTransport{n: n} }
 
 func (a *msgnetTransport) Scheduler() *sim.Scheduler { return a.n.Scheduler() }
+
+func (a *msgnetTransport) SchedulerOf(id rdma.NodeID) *sim.Scheduler {
+	return a.n.Endpoint(id).Scheduler()
+}
 
 func (a *msgnetTransport) Send(p *sim.Proc, from, to rdma.NodeID, payload []byte) error {
 	return a.n.Send(p, from, to, payload)

@@ -63,6 +63,12 @@ func (pr *Process) snapshotState() *viewState {
 	for _, m := range pr.unproposed {
 		st.pending = append(st.pending, pendingState{msg: *m})
 	}
+	// Sort by message ID: both source loops range over maps, and the slice
+	// order decides the union order in adopt (and hence re-proposal
+	// timestamps), so it must not inherit randomized map iteration.
+	sort.Slice(st.pending, func(i, j int) bool {
+		return lessMsgID(st.pending[i].msg.id, st.pending[j].msg.id)
+	})
 	return st
 }
 
@@ -110,11 +116,16 @@ func (pr *Process) maybeAdopt(p *sim.Proc) {
 // everything is re-replicated so all members converge.
 func (pr *Process) adopt(p *sim.Proc) {
 	pr.vcSpan.Arg("won", true).End()
+	// Collect in rank order and sort stably: states tied on
+	// (lastAcceptedView, log length) then rank lowest-first, never in
+	// randomized map order — the winner decides the adopted log.
 	states := make([]*viewState, 0, len(pr.vcStates))
-	for _, st := range pr.vcStates {
-		states = append(states, st)
+	for rank := 0; rank < len(pr.cfg.Groups[pr.group]); rank++ {
+		if st, ok := pr.vcStates[rank]; ok {
+			states = append(states, st)
+		}
 	}
-	sort.Slice(states, func(i, j int) bool {
+	sort.SliceStable(states, func(i, j int) bool {
 		if states[i].lastAcceptedView != states[j].lastAcceptedView {
 			return states[i].lastAcceptedView > states[j].lastAcceptedView
 		}

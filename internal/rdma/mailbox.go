@@ -77,11 +77,13 @@ func NewMailbox(consumer *Node, capacity int) *Mailbox {
 // allocates the credit cell on the producer and wires both directions.
 // Connect must be called exactly once per mailbox (single producer).
 func (m *Mailbox) Connect(f *Fabric, producer NodeID) *MailboxWriter {
+	// The send lock lives in the producer's simulation domain: Send runs
+	// on the producing node's processes.
 	w := &MailboxWriter{
 		qp:       f.Connect(producer, m.node.id),
 		ringAddr: m.reg.Addr(0),
 		cap:      m.cap,
-		mu:       sim.NewMutex(f.sched),
+		mu:       sim.NewMutex(f.nodes[producer].sched),
 	}
 	w.creditReg = f.nodes[producer].RegisterRegion(8)
 	m.creditQP = f.Connect(m.node.id, producer)

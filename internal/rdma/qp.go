@@ -59,12 +59,14 @@ func (q *QP) o() *qpObs {
 
 // Connect creates a queue pair from node a to node b. Both nodes must
 // exist on the fabric; Connect panics otherwise (static wiring error).
+// The QP issues from a's simulation domain; when b lives on a different
+// domain, verbs take the cross-domain path (see cross.go).
 func (f *Fabric) Connect(a, b NodeID) *QP {
 	la, lb := f.nodes[a], f.nodes[b]
 	if la == nil || lb == nil {
 		panic(fmt.Sprintf("rdma: connect %d->%d: unknown node", a, b))
 	}
-	return &QP{local: la, remote: lb, cfg: &f.cfg, sched: f.sched}
+	return &QP{local: la, remote: lb, cfg: &f.cfg, sched: la.sched}
 }
 
 // Local returns the issuing node.
@@ -140,6 +142,11 @@ func (q *QP) checkLocal() error {
 	return nil
 }
 
+// errMisaligned builds the alignment error for atomics.
+func errMisaligned(addr Addr) error {
+	return fmt.Errorf("%w: %v", ErrCASMisaligned, addr)
+}
+
 // Read performs a one-sided READ of length bytes at addr. The returned
 // slice is a copy of the target memory as of the completion instant; the
 // target CPU is not involved. On a crashed target it returns
@@ -147,6 +154,9 @@ func (q *QP) checkLocal() error {
 func (q *QP) Read(p *sim.Proc, addr Addr, length int) ([]byte, error) {
 	if err := q.checkLocal(); err != nil {
 		return nil, err
+	}
+	if q.crossDomain() {
+		return q.readCross(p, addr, length)
 	}
 	if q.pathDown() || q.dropDrawn() {
 		return nil, q.failVerb(p)
@@ -191,6 +201,9 @@ func (q *QP) Write(p *sim.Proc, addr Addr, data []byte) error {
 	if err := q.checkLocal(); err != nil {
 		return err
 	}
+	if q.crossDomain() {
+		return q.writeCross(p, addr, data)
+	}
 	if q.pathDown() || q.dropDrawn() {
 		return q.failVerb(p)
 	}
@@ -212,6 +225,9 @@ func (q *QP) Write(p *sim.Proc, addr Addr, data []byte) error {
 func (q *QP) PostWrite(p *sim.Proc, addr Addr, data []byte) error {
 	if err := q.checkLocal(); err != nil {
 		return err
+	}
+	if q.crossDomain() {
+		return q.postWriteCross(p, addr, data)
 	}
 	if q.pathDown() || q.dropDrawn() {
 		// Posting succeeds on real hardware; the completion error is
@@ -274,6 +290,9 @@ func (q *QP) CompareAndSwap(p *sim.Proc, addr Addr, expect, swap uint64) (uint64
 	if err := q.checkLocal(); err != nil {
 		return 0, err
 	}
+	if q.crossDomain() {
+		return q.casCross(p, addr, expect, swap)
+	}
 	if q.pathDown() || q.dropDrawn() {
 		return 0, q.failVerb(p)
 	}
@@ -282,7 +301,7 @@ func (q *QP) CompareAndSwap(p *sim.Proc, addr Addr, expect, swap uint64) (uint64
 		return 0, err
 	}
 	if addr.Off%8 != 0 {
-		return 0, fmt.Errorf("%w: %v", ErrCASMisaligned, addr)
+		return 0, errMisaligned(addr)
 	}
 	done, wait := q.completionTime(q.cfg.CASBase, 8)
 	io := q.o()
@@ -326,6 +345,9 @@ func (q *QP) CompareAndSwap(p *sim.Proc, addr Addr, expect, swap uint64) (uint64
 func (q *QP) Send(p *sim.Proc, payload any) error {
 	if err := q.checkLocal(); err != nil {
 		return err
+	}
+	if q.crossDomain() {
+		return q.sendCross(p, payload)
 	}
 	if q.pathDown() || q.dropDrawn() {
 		p.Sleep(q.cfg.PostOverhead)

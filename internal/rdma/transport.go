@@ -64,6 +64,17 @@ func (t *Transport) Endpoint(id NodeID) *Endpoint {
 	return ep
 }
 
+// Prewire creates the rings (and endpoints) for every given ordered node
+// pair up front. A multi-domain deployment must prewire every pair it
+// will ever send on before Domains.Run starts: lazy creation mutates the
+// transport's shared maps and registers memory on the consumer, which is
+// only safe while a single thread drives the simulation.
+func (t *Transport) Prewire(pairs [][2]NodeID) {
+	for _, pr := range pairs {
+		t.writer(pr[0], pr[1])
+	}
+}
+
 // writer returns (creating on first use) the ring from node a to node b.
 func (t *Transport) writer(a, b NodeID) *MailboxWriter {
 	key := [2]NodeID{a, b}

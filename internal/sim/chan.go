@@ -12,17 +12,38 @@ type Chan[T any] struct {
 
 // NewChan returns an empty queue bound to s.
 func NewChan[T any](s *Scheduler) *Chan[T] {
-	return &Chan[T]{nonEmp: NewCond(s)}
+	c := &Chan[T]{nonEmp: NewCond(s)}
+	c.nonEmp.Reason = "chan recv"
+	return c
 }
 
 // Send enqueues v. It may be called from process bodies or plain events.
+// Sending on a closed channel panics, as with native Go channels: a
+// silently dropped message after Close has historically masked real
+// protocol bugs (a receiver that closed its queue while a sender still
+// believed it live).
 func (c *Chan[T]) Send(v T) {
 	if c.closed {
-		return
+		panic("sim: send on closed Chan")
 	}
 	c.buf = append(c.buf, v)
 	c.nonEmp.Broadcast()
 }
+
+// TrySend enqueues v unless the channel is closed, reporting whether the
+// element was accepted. For senders that legitimately race a Close (e.g.
+// delivery paths of crash-injected nodes).
+func (c *Chan[T]) TrySend(v T) bool {
+	if c.closed {
+		return false
+	}
+	c.buf = append(c.buf, v)
+	c.nonEmp.Broadcast()
+	return true
+}
+
+// Closed reports whether Close has been called.
+func (c *Chan[T]) Closed() bool { return c.closed }
 
 // Recv dequeues the oldest element, blocking the calling process until one
 // is available. The second result is false if the channel was closed and

@@ -7,6 +7,10 @@ package sim
 type Cond struct {
 	s       *Scheduler
 	waiters []*condWaiter
+
+	// Reason, when set, labels what blocked waiters are waiting for in
+	// deadlock reports (e.g. "chan recv", "write-notify").
+	Reason string
 }
 
 type condWaiter struct {
@@ -24,7 +28,16 @@ func NewCond(s *Scheduler) *Cond { return &Cond{s: s} }
 func (c *Cond) Wait(p *Proc) {
 	w := &condWaiter{p: p, active: true}
 	c.waiters = append(c.waiters, w)
+	p.waitReason = c.waitReason()
 	p.doYield()
+}
+
+// waitReason labels waits on this cond for deadlock reports.
+func (c *Cond) waitReason() string {
+	if c.Reason != "" {
+		return c.Reason
+	}
+	return "cond wait"
 }
 
 // WaitTimeout blocks the calling process until the next Broadcast or until
@@ -33,6 +46,7 @@ func (c *Cond) Wait(p *Proc) {
 func (c *Cond) WaitTimeout(p *Proc, d Duration) bool {
 	w := &condWaiter{p: p, active: true}
 	c.waiters = append(c.waiters, w)
+	p.waitReason = c.waitReason()
 	c.s.After(d, func() {
 		if !w.active {
 			return

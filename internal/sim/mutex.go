@@ -31,6 +31,7 @@ func (m *Mutex) Lock(p *Proc) {
 		return
 	}
 	m.waiters = append(m.waiters, p)
+	p.waitReason = "mutex"
 	p.doYield()
 	// Resumed either by a grant (owner == p) or by Kill (which panics
 	// out of doYield before reaching here).

@@ -1,0 +1,159 @@
+package sim
+
+// eventQueue is the scheduler's pending-event structure: a calendar-style
+// bucket heap tuned for the simulation's two dominant scheduling
+// patterns. The NIC and transport models emit dense bursts of events at
+// exactly the same instant (a multicast write fans out to every replica
+// with identical completion math), which a plain binary heap pays
+// O(log n) per event for; here a burst lands in one bucket with an O(1)
+// append. Timer-style monotone scheduling degenerates to one bucket per
+// event, costing the same heap push as before but with both the event and
+// the bucket recycled through free lists, killing the per-After
+// allocation on the hot path.
+//
+// Determinism contract: pop order is exactly (at, seq) — byte-identical
+// to the binary heap it replaced. Buckets with equal timestamps can
+// coexist in the heap; they are ordered by the sequence number of their
+// first event, and events are only ever appended to the most recently
+// targeted bucket, so the sequence ranges of equal-time buckets never
+// interleave.
+type eventQueue struct {
+	heap []*bucket
+	// last is the bucket most recently pushed into; the burst fast path.
+	last   *bucket
+	size   int
+	freeEv []*event
+	freeBk []*bucket
+}
+
+// event is a scheduled closure. Events with equal time run in the order
+// they were scheduled (seq breaks ties), which keeps runs deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+// bucket holds every event scheduled for one exact timestamp, in FIFO
+// (= sequence) order. pos is the consumption cursor, so draining and
+// same-instant appends can interleave without copying.
+type bucket struct {
+	at       Time
+	firstSeq uint64
+	evs      []*event
+	pos      int
+}
+
+func (q *eventQueue) len() int { return q.size }
+
+// peek returns the earliest pending timestamp.
+func (q *eventQueue) peek() (Time, bool) {
+	if len(q.heap) == 0 {
+		return 0, false
+	}
+	return q.heap[0].at, true
+}
+
+// push schedules fn at (at, seq). Callers must push with strictly
+// increasing seq.
+func (q *eventQueue) push(at Time, seq uint64, fn func()) {
+	q.size++
+	var ev *event
+	if n := len(q.freeEv); n > 0 {
+		ev = q.freeEv[n-1]
+		q.freeEv = q.freeEv[:n-1]
+		ev.at, ev.seq, ev.fn = at, seq, fn
+	} else {
+		ev = &event{at: at, seq: seq, fn: fn}
+	}
+	if q.last != nil && q.last.at == at {
+		q.last.evs = append(q.last.evs, ev)
+		return
+	}
+	var b *bucket
+	if n := len(q.freeBk); n > 0 {
+		b = q.freeBk[n-1]
+		q.freeBk = q.freeBk[:n-1]
+	} else {
+		b = &bucket{}
+	}
+	b.at, b.firstSeq = at, seq
+	b.evs = append(b.evs, ev)
+	q.last = b
+	q.heap = append(q.heap, b)
+	q.siftUp(len(q.heap) - 1)
+}
+
+// pop removes and returns the earliest event (min (at, seq)). The caller
+// must recycle the event after running it. pop panics on an empty queue.
+func (q *eventQueue) pop() *event {
+	b := q.heap[0]
+	ev := b.evs[b.pos]
+	b.evs[b.pos] = nil
+	b.pos++
+	q.size--
+	if b.pos == len(b.evs) {
+		q.popRoot()
+		if q.last == b {
+			q.last = nil
+		}
+		b.evs = b.evs[:0]
+		b.pos = 0
+		q.freeBk = append(q.freeBk, b)
+	}
+	return ev
+}
+
+// recycle returns an executed event to the free list.
+func (q *eventQueue) recycle(ev *event) {
+	ev.fn = nil
+	q.freeEv = append(q.freeEv, ev)
+}
+
+func (q *eventQueue) less(i, j int) bool {
+	a, b := q.heap[i], q.heap[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.firstSeq < b.firstSeq
+}
+
+func (q *eventQueue) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			return
+		}
+		q.heap[i], q.heap[parent] = q.heap[parent], q.heap[i]
+		i = parent
+	}
+}
+
+func (q *eventQueue) popRoot() {
+	n := len(q.heap) - 1
+	q.heap[0] = q.heap[n]
+	q.heap[n] = nil
+	q.heap = q.heap[:n]
+	if n > 0 {
+		q.siftDown(0)
+	}
+}
+
+func (q *eventQueue) siftDown(i int) {
+	n := len(q.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && q.less(l, min) {
+			min = l
+		}
+		if r < n && q.less(r, min) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		q.heap[i], q.heap[min] = q.heap[min], q.heap[i]
+		i = min
+	}
+}

@@ -1,12 +1,19 @@
 // Package sim implements a deterministic discrete-event simulation kernel.
 //
 // All Heron protocol logic runs as cooperative processes (Proc) scheduled
-// over a virtual clock. Exactly one process executes at a time; control is
-// handed between the scheduler goroutine and process goroutines through a
-// strict handshake, so executions are fully deterministic for a given
-// sequence of Spawn/After calls. Virtual time is advanced only by the event
-// queue: a process gives up the CPU by sleeping, waiting on a Cond, or
-// exiting, never by blocking on real OS primitives.
+// over a virtual clock. Within one scheduler exactly one process executes
+// at a time; control is handed between the scheduler goroutine and process
+// goroutines through a strict handshake, so executions are fully
+// deterministic for a given sequence of Spawn/After calls. Virtual time is
+// advanced only by the event queue: a process gives up the CPU by
+// sleeping, waiting on a Cond, or exiting, never by blocking on real OS
+// primitives.
+//
+// A Scheduler is also one domain of a parallel simulation (see domain.go):
+// independent partitions of a deployment can each own a scheduler, with
+// the domains' virtual clocks advanced concurrently on real OS threads
+// under a conservative lookahead barrier. A standalone scheduler is the
+// degenerate single-domain case and behaves exactly as before.
 //
 // The kernel is intentionally small: events, processes, condition
 // variables, and deadlock detection. Higher-level communication (RDMA
@@ -14,10 +21,10 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -38,42 +45,18 @@ const (
 )
 
 // ErrDeadlock is returned by Run when the event queue drains while
-// processes are still blocked: no event can ever wake them again.
+// processes are still blocked: no event can ever wake them again. The
+// returned error wraps this sentinel and lists each blocked process with
+// its wait reason (use errors.Is to test).
 var ErrDeadlock = errors.New("sim: deadlock: no pending events but processes are blocked")
 
-// event is a scheduled closure. Events with equal time run in the order
-// they were scheduled (seq breaks ties), which keeps runs deterministic.
-type event struct {
-	at  Time
-	seq uint64
-	fn  func()
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
-}
-
-// Scheduler owns the virtual clock and the event queue, and arbitrates
-// which process runs. The zero value is not usable; call NewScheduler.
+// Scheduler owns the virtual clock and the event queue of one simulation
+// domain, and arbitrates which of the domain's processes runs. The zero
+// value is not usable; call NewScheduler (standalone) or NewDomains
+// (parallel).
 type Scheduler struct {
 	now      Time
-	events   eventHeap
+	q        eventQueue
 	seq      uint64
 	procs    map[*Proc]struct{}
 	running  bool
@@ -85,15 +68,39 @@ type Scheduler struct {
 	// non-zero. It is a backstop against accidental infinite event loops
 	// in tests.
 	MaxEvents uint64
+
+	// Domain coupling; all nil/zero for a standalone scheduler.
+	dom   *Domains
+	domID int
+	// windowEnd is the exclusive bound of the parallel window currently
+	// executing, which doubles as the earliest legal delivery time for
+	// cross-domain events sent from this domain.
+	windowEnd Time
+	// crossSeq orders this domain's outgoing cross-domain events.
+	crossSeq uint64
+	// windowErr carries a window's error to the coordinator.
+	windowErr error
+	// inbox holds cross-domain events sent to this domain but not yet
+	// merged into its queue; guarded by inboxMu because senders append
+	// from their own OS threads.
+	inboxMu sync.Mutex
+	inbox   []crossEvent
+	// lateCross counts cross-domain events that violated the lookahead
+	// contract and were clamped to the window boundary.
+	lateCross uint64
 }
 
-// NewScheduler returns an empty scheduler with the clock at zero.
+// NewScheduler returns an empty standalone scheduler with the clock at
+// zero.
 func NewScheduler() *Scheduler {
 	return &Scheduler{procs: make(map[*Proc]struct{})}
 }
 
 // Now returns the current virtual time.
 func (s *Scheduler) Now() Time { return s.now }
+
+// Domain returns the scheduler's domain index (0 for standalone).
+func (s *Scheduler) Domain() int { return s.domID }
 
 // At schedules fn to run at absolute time at. Scheduling in the past is an
 // error in the caller; the event is clamped to the current time so that
@@ -103,7 +110,7 @@ func (s *Scheduler) At(at Time, fn func()) {
 		at = s.now
 	}
 	s.seq++
-	heap.Push(&s.events, &event{at: at, seq: s.seq, fn: fn})
+	s.q.push(at, s.seq, fn)
 }
 
 // After schedules fn to run d from now. Negative delays are clamped to 0.
@@ -135,8 +142,16 @@ type Proc struct {
 	name  string
 	state procState
 
+	// The handshake channels have capacity 1 so that handing the token
+	// over never parks the giving side: a context switch costs one park
+	// (the receiving side) instead of two. The strict alternation of
+	// scheduler and process keeps at most one token in flight.
 	resume chan struct{} // scheduler -> proc: you have the CPU
 	yield  chan struct{} // proc -> scheduler: I gave it back
+
+	// waitReason says what a blocked process is waiting for; it feeds the
+	// deadlock report.
+	waitReason string
 
 	// killed requests the proc to stop at its next yield point.
 	killed bool
@@ -168,8 +183,8 @@ func (s *Scheduler) SpawnAfter(d Duration, name string, body func(p *Proc)) *Pro
 		s:      s,
 		name:   name,
 		state:  procNew,
-		resume: make(chan struct{}),
-		yield:  make(chan struct{}),
+		resume: make(chan struct{}, 1),
+		yield:  make(chan struct{}, 1),
 	}
 	s.procs[p] = struct{}{}
 	go func() {
@@ -213,6 +228,7 @@ func (p *Proc) doYield() {
 	p.yield <- struct{}{}
 	<-p.resume
 	p.state = procRunning
+	p.waitReason = ""
 	if p.killed {
 		panic(killedErr{p.name})
 	}
@@ -221,6 +237,7 @@ func (p *Proc) doYield() {
 // Sleep suspends the process for d of virtual time.
 func (p *Proc) Sleep(d Duration) {
 	p.s.After(d, func() { p.s.step(p) })
+	p.waitReason = "sleep"
 	p.doYield()
 }
 
@@ -248,9 +265,10 @@ func (p *Proc) Kill() {
 func (p *Proc) Killed() bool { return p.killed }
 
 // Run executes events until the queue drains or until an error occurs. It
-// returns ErrDeadlock (wrapped with the blocked process names) if
-// processes remain blocked with no pending events, and the first process
-// panic if any process panicked.
+// returns a deadlock error (errors.Is(err, ErrDeadlock)) naming the
+// blocked processes and their wait reasons if processes remain blocked
+// with no pending events, and the first process panic if any process
+// panicked.
 func (s *Scheduler) Run() error {
 	return s.RunUntil(Time(1<<62 - 1))
 }
@@ -263,41 +281,84 @@ func (s *Scheduler) RunUntil(deadline Time) error {
 	if s.running {
 		return errors.New("sim: Run called re-entrantly")
 	}
+	if s.dom != nil && len(s.dom.members) > 1 {
+		return errors.New("sim: RunUntil on a domain member; drive the run through Domains.Run")
+	}
 	s.running = true
 	defer func() { s.running = false }()
 
-	for len(s.events) > 0 {
+	if err := s.runLocal(deadline + 1); err != nil {
+		return err
+	}
+	if s.q.len() > 0 {
+		return nil // future events remain past the deadline
+	}
+	return s.checkLocalDeadlock()
+}
+
+// runLocal executes events with timestamps strictly below end, leaving the
+// clock at the last executed event. It is the per-domain inner loop of
+// both standalone runs and parallel windows.
+func (s *Scheduler) runLocal(end Time) error {
+	for {
 		if s.fatalErr != nil {
 			return s.fatalErr
 		}
-		next := s.events[0]
-		if next.at > deadline {
+		at, ok := s.q.peek()
+		if !ok || at >= end {
 			return nil
 		}
-		heap.Pop(&s.events)
-		s.now = next.at
+		ev := s.q.pop()
+		s.now = ev.at
 		s.eventCount++
 		if s.MaxEvents != 0 && s.eventCount > s.MaxEvents {
 			return fmt.Errorf("sim: exceeded MaxEvents=%d at t=%v", s.MaxEvents, s.now)
 		}
-		next.fn()
+		ev.fn()
+		s.q.recycle(ev)
 	}
+}
+
+// checkLocalDeadlock returns the deadlock error if any of this domain's
+// processes are blocked (the caller has established that no event can
+// wake them), or nil.
+func (s *Scheduler) checkLocalDeadlock() error {
 	if s.fatalErr != nil {
 		return s.fatalErr
 	}
 	if n := s.blockedProcs(); len(n) > 0 {
-		return fmt.Errorf("%w: %v", ErrDeadlock, n)
+		return deadlockError(n)
 	}
 	return nil
 }
 
-// blockedProcs returns the names of processes that can never run again
-// because the event queue is empty.
+// deadlockError builds the wrapped ErrDeadlock listing blocked processes.
+func deadlockError(blocked []string) error {
+	return fmt.Errorf("%w: [%s]", ErrDeadlock, joinBlocked(blocked))
+}
+
+func joinBlocked(blocked []string) string {
+	out := ""
+	for i, b := range blocked {
+		if i > 0 {
+			out += "; "
+		}
+		out += b
+	}
+	return out
+}
+
+// blockedProcs returns a sorted "name (wait reason)" listing of processes
+// that can never run again because the event queue is empty.
 func (s *Scheduler) blockedProcs() []string {
 	var names []string
 	for p := range s.procs {
 		if p.state == procBlocked {
-			names = append(names, p.name)
+			reason := p.waitReason
+			if reason == "" {
+				reason = "blocked"
+			}
+			names = append(names, fmt.Sprintf("%s (%s)", p.name, reason))
 		}
 	}
 	sort.Strings(names)

@@ -353,7 +353,9 @@ func TestChanClose(t *testing.T) {
 	ch := NewChan[int](s)
 	ch.Send(1)
 	ch.Close()
-	ch.Send(2) // dropped after close
+	if ch.TrySend(2) { // rejected after close
+		t.Fatal("TrySend on closed Chan should report false")
+	}
 	var vals []int
 	var closedOK bool
 	s.Spawn("recv", func(p *Proc) {
