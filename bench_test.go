@@ -125,7 +125,7 @@ func BenchmarkFig7TxnLatency(b *testing.B) {
 // (Table I), reporting the 2-partition/3-replica configuration.
 func BenchmarkTable1Delays(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := bench.RunTable1(40 * sim.Millisecond)
+		res, err := bench.RunTable1(40*sim.Millisecond, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -140,7 +140,7 @@ func BenchmarkTable1Delays(b *testing.B) {
 // reporting the 64 KB serialized case.
 func BenchmarkFig8StateTransfer(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := bench.RunFig8(2, false)
+		res, err := bench.RunFig8(2, false, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -153,7 +153,7 @@ func BenchmarkFig8StateTransfer(b *testing.B) {
 func BenchmarkAblationCutoff(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		res, err := bench.RunCutoffAblation(
-			[]sim.Duration{0, 10 * sim.Microsecond, 50 * sim.Microsecond}, 0, 30*sim.Millisecond)
+			[]sim.Duration{0, 10 * sim.Microsecond, 50 * sim.Microsecond}, 0, 30*sim.Millisecond, nil)
 		if err != nil {
 			b.Fatal(err)
 		}

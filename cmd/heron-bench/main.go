@@ -11,12 +11,12 @@
 //	heron-bench table1  [-window 150ms]
 //	heron-bench ablation
 //	heron-bench fanout  [-sizes 1,2,4,8,16,32] [-targets 4] [-slot 96]
-//	heron-bench chaos   [-schedules 5] [-seed 1] [-profile churn]
+//	heron-bench chaos   [-schedules 5] [-seed 1] [-faults churn] [-flightdir d]
 //	heron-bench reconfig [-scenario split] [-runs 1] [-seed 1]
 //	heron-bench recovery [-seeds 2] [-seed 1]
 //	heron-bench openloop [-groups 4] [-replicas 3] [-domains 1] [-clients 100000]
 //	                     [-rate 10] [-arrival poisson|pareto] [-shape steady|diurnal|flash]
-//	                     [-window 20ms] [-seed 1]
+//	                     [-window 20ms] [-seed 1] [-heat out.json] [-flightdir d]
 //	heron-bench parallel [-groups 8] [-replicas 3] [-clients 100000] [-window 40ms]
 //	heron-bench all     [-quick]
 //
@@ -25,8 +25,15 @@
 // The figure subcommands (fig4-fig7, fanout) also accept -trace out.json
 // to write a Chrome trace_event file of the run's virtual-time spans
 // (load it at ui.perfetto.dev) and -metrics to print an instrument
-// snapshot after the run. Each subcommand prints the same rows/series the
-// paper reports; see EXPERIMENTS.md for paper-vs-measured notes.
+// snapshot after the run. Subcommands with a request path additionally
+// accept -profile out.json to write the causal critical-path attribution
+// profile (formatted table to stderr) and -slowest N to bound its
+// outlier list; openloop's -heat writes per-partition heat telemetry,
+// and -flightdir on openloop/chaos arms the always-on flight recorder
+// (crashes and p99.9 latency outliers auto-dump a Perfetto-loadable
+// ring of recent protocol events). Each subcommand prints the same
+// rows/series the paper reports; see EXPERIMENTS.md for
+// paper-vs-measured notes.
 package main
 
 import (
@@ -135,10 +142,12 @@ func parseInts(s, what string) ([]int, error) {
 // parseWH parses a comma-separated warehouse list.
 func parseWH(s string) ([]int, error) { return parseInts(s, "warehouse count") }
 
-// obsOpts carries a subcommand's -trace/-metrics flags.
+// obsOpts carries a subcommand's -trace/-metrics/-profile flags.
 type obsOpts struct {
 	trace   *string
 	metrics *bool
+	profile *string
+	slowest *int
 }
 
 // addObsFlags registers the observability flags on a subcommand.
@@ -146,26 +155,37 @@ func addObsFlags(fs *flag.FlagSet) *obsOpts {
 	return &obsOpts{
 		trace:   fs.String("trace", "", "write a Chrome trace_event JSON file (load at ui.perfetto.dev)"),
 		metrics: fs.Bool("metrics", false, "print a metrics snapshot after the run"),
+		profile: fs.String("profile", "", "write the critical-path latency-attribution profile to this JSON file (table printed to stderr)"),
+		slowest: fs.Int("slowest", 5, "slowest requests to break down in the -profile output"),
 	}
 }
 
-// observer builds the observer the flags imply; nil when both are off, so
+// observer builds the observer the flags imply; nil when all are off, so
 // the benchmarks stay on the zero-cost disabled path.
-func (oo *obsOpts) observer() *obs.Observer {
+func (oo *obsOpts) observer() *obs.Observer { return oo.observerDomains(1) }
+
+// observerDomains builds the observer with the critical-path engine
+// sharded for `domains` parallel simulation domains (shards must cover
+// every domain thread that will record).
+func (oo *obsOpts) observerDomains(domains int) *obs.Observer {
 	var tr *obs.Tracer
 	var m *obs.Metrics
+	var cp *obs.CritPath
 	if *oo.trace != "" {
 		tr = obs.NewTracer()
 	}
 	if *oo.metrics {
 		m = obs.NewMetrics()
 	}
-	return obs.New(tr, m)
+	if *oo.profile != "" {
+		cp = obs.NewCritPath(domains)
+	}
+	return obs.NewFull(tr, m, cp, nil, nil)
 }
 
-// finish writes the trace file and prints the metrics snapshot, as
-// requested by the flags. The metrics table goes to stderr so it never
-// corrupts -json output on stdout.
+// finish writes the trace file, the critical-path profile, and the
+// metrics snapshot, as requested by the flags. Tables go to stderr so
+// they never corrupt -json output on stdout.
 func (oo *obsOpts) finish(o *obs.Observer) error {
 	if o == nil {
 		return nil
@@ -183,6 +203,22 @@ func (oo *obsOpts) finish(o *obs.Observer) error {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "[trace written to %s]\n", *oo.trace)
+	}
+	if *oo.profile != "" {
+		p := o.CritPath().Profile(*oo.slowest)
+		f, err := os.Create(*oo.profile)
+		if err != nil {
+			return err
+		}
+		if err := p.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprint(os.Stderr, p.Format())
+		fmt.Fprintf(os.Stderr, "[profile written to %s]\n", *oo.profile)
 	}
 	if *oo.metrics {
 		fmt.Fprint(os.Stderr, o.Metrics().Snapshot(0).Format())
@@ -283,11 +319,16 @@ func runFig8(args []string) error {
 	runs := fs.Int("runs", 5, "repetitions per configuration")
 	full := fs.Bool("full", false, "also recover a full-scale TPCC warehouse (uses ~400MB RAM)")
 	asJSON := fs.Bool("json", false, "emit machine-readable JSON")
+	oo := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	res, err := bench.RunFig8(*runs, *full)
+	o := oo.observer()
+	res, err := bench.RunFig8(*runs, *full, o)
 	if err != nil {
+		return err
+	}
+	if err := oo.finish(o); err != nil {
 		return err
 	}
 	return emit(res, *asJSON)
@@ -297,11 +338,16 @@ func runTable1(args []string) error {
 	fs := flag.NewFlagSet("table1", flag.ExitOnError)
 	window := fs.Duration("window", 0, "measurement window of virtual time (0 = default)")
 	asJSON := fs.Bool("json", false, "emit machine-readable JSON")
+	oo := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	res, err := bench.RunTable1(sim.Duration(*window))
+	o := oo.observer()
+	res, err := bench.RunTable1(sim.Duration(*window), o)
 	if err != nil {
+		return err
+	}
+	if err := oo.finish(o); err != nil {
 		return err
 	}
 	return emit(res, *asJSON)
@@ -310,11 +356,16 @@ func runTable1(args []string) error {
 func runAblation(args []string) error {
 	fs := flag.NewFlagSet("ablation", flag.ExitOnError)
 	asJSON := fs.Bool("json", false, "emit machine-readable JSON")
+	oo := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	res, err := bench.RunCutoffAblation(nil, 0, 0)
+	o := oo.observer()
+	res, err := bench.RunCutoffAblation(nil, 0, 0, o)
 	if err != nil {
+		return err
+	}
+	if err := oo.finish(o); err != nil {
 		return err
 	}
 	return emit(res, *asJSON)
@@ -325,11 +376,16 @@ func runWorkers(args []string) error {
 	wh := fs.Int("wh", 2, "warehouses")
 	window := fs.Duration("window", 0, "measurement window of virtual time (0 = default)")
 	asJSON := fs.Bool("json", false, "emit machine-readable JSON")
+	oo := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	res, err := bench.RunWorkerAblation(nil, *wh, sim.Duration(*window))
+	o := oo.observer()
+	res, err := bench.RunWorkerAblation(nil, *wh, sim.Duration(*window), o)
 	if err != nil {
+		return err
+	}
+	if err := oo.finish(o); err != nil {
 		return err
 	}
 	return emit(res, *asJSON)
@@ -364,14 +420,15 @@ func runChaosCmd(args []string) error {
 	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
 	schedules := fs.Int("schedules", 5, "number of seeded fault schedules to sweep")
 	seed := fs.Int64("seed", 1, "base seed; schedule i uses seed+i")
-	profile := fs.String("profile", "", "fault profile: churn, partitions, slownic, mixed, overload (empty = rotate)")
+	profile := fs.String("faults", "", "fault profile: churn, partitions, slownic, mixed, overload (empty = rotate)")
+	flightDir := fs.String("flightdir", "", "directory for flight-recorder auto-dumps (crash, violation, sim error)")
 	asJSON := fs.Bool("json", false, "emit machine-readable JSON")
 	oo := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	o := oo.observer()
-	res, err := bench.RunChaos(*schedules, *seed, *profile, o)
+	res, err := bench.RunChaos(*schedules, *seed, *profile, *flightDir, o)
 	if err != nil {
 		return err
 	}
@@ -457,14 +514,46 @@ func runOpenLoopCmd(args []string) error {
 	warmup := fs.Duration("warmup", time.Duration(opts.Warmup), "warmup of virtual time")
 	window := fs.Duration("window", time.Duration(opts.Window), "measurement window of virtual time")
 	fs.Int64Var(&opts.Seed, "seed", opts.Seed, "workload seed")
+	fs.StringVar(&opts.FlightDir, "flightdir", "", "directory for the latency-outlier flight dump (max > 8x p99.9)")
+	heatPath := fs.String("heat", "", "write the per-partition heat telemetry report to this JSON file (table printed to stderr)")
 	asJSON := fs.Bool("json", false, "emit machine-readable JSON (byte-identical across replays)")
+	oo := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	opts.Warmup = sim.Duration(*warmup)
 	opts.Window = sim.Duration(*window)
+	if opts.Domains < 1 {
+		opts.Domains = 1
+	}
+	o := oo.observerDomains(opts.Domains)
+	var heat *obs.Heat
+	if *heatPath != "" {
+		heat = obs.NewHeat(opts.Groups, 100*sim.Microsecond, 8)
+		o = obs.NewFull(o.Tracer(), o.Metrics(), o.CritPath(), heat, o.Flight())
+	}
+	opts.Obs = o
 	res, err := bench.RunOpenLoop(opts)
 	if err != nil {
+		return err
+	}
+	if *heatPath != "" {
+		rep := heat.Report(sim.Time(res.VirtualNS))
+		f, err := os.Create(*heatPath)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprint(os.Stderr, rep.Format())
+		fmt.Fprintf(os.Stderr, "[heat report written to %s]\n", *heatPath)
+	}
+	if err := oo.finish(o); err != nil {
 		return err
 	}
 	return emit(res, *asJSON)
@@ -477,11 +566,16 @@ func runParallelCmd(args []string) error {
 	clients := fs.Int("clients", 100_000, "modeled open-loop client population")
 	window := fs.Duration("window", 0, "measurement window of virtual time (0 = default)")
 	asJSON := fs.Bool("json", false, "emit machine-readable JSON")
+	oo := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	res, err := bench.RunParallelCompare(*groups, *replicas, *clients, sim.Duration(*window))
+	o := oo.observer()
+	res, err := bench.RunParallelCompare(*groups, *replicas, *clients, sim.Duration(*window), o)
 	if err != nil {
+		return err
+	}
+	if err := oo.finish(o); err != nil {
 		return err
 	}
 	return emit(res, *asJSON)
@@ -520,10 +614,10 @@ func runAll(args []string) error {
 		{"fig5", func() (formatter, error) { return bench.RunFig5(counts, window, nil) }},
 		{"fig6", func() (formatter, error) { return bench.RunFig6(requests, nil) }},
 		{"fig7", func() (formatter, error) { return bench.RunFig7(4, requests, nil) }},
-		{"table1", func() (formatter, error) { return bench.RunTable1(window) }},
-		{"fig8", func() (formatter, error) { return bench.RunFig8(runs, !*quick) }},
-		{"ablation", func() (formatter, error) { return bench.RunCutoffAblation(nil, 0, window) }},
-		{"workers", func() (formatter, error) { return bench.RunWorkerAblation(nil, 2, window) }},
+		{"table1", func() (formatter, error) { return bench.RunTable1(window, nil) }},
+		{"fig8", func() (formatter, error) { return bench.RunFig8(runs, !*quick, nil) }},
+		{"ablation", func() (formatter, error) { return bench.RunCutoffAblation(nil, 0, window, nil) }},
+		{"workers", func() (formatter, error) { return bench.RunWorkerAblation(nil, 2, window, nil) }},
 		{"fanout", func() (formatter, error) { return bench.RunFanout(nil, 0, 0, nil) }},
 	}
 	type stepResult struct {

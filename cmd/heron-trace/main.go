@@ -7,10 +7,19 @@
 // of the run's virtual-time spans, and -metrics prints an instrument
 // snapshot to stderr.
 //
+// The critpath subcommand instead runs one fig6 workload with the causal
+// critical-path engine armed and prints its deterministic
+// latency-attribution profile: every nanosecond of end-to-end latency
+// attributed to exactly one segment (ordering, coordination waits,
+// nic_wait, app_execute, ...), so the segment sum equals the measured
+// end-to-end latency. Same-seed runs print byte-identical profiles.
+//
 // Usage:
 //
 //	heron-trace [-wh 4] [-clients 2] [-requests 2000] [-seed 1] [-workers 1]
 //	            [-json] [-trace out.json] [-metrics]
+//	heron-trace critpath [-workload 4WH] [-requests 400] [-slowest 5]
+//	                     [-json] [-out profile.json]
 package main
 
 import (
@@ -62,6 +71,13 @@ func (c *collector) RequestDone(part core.PartitionID, rank int, id multicast.Ms
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "critpath" {
+		if err := runCritPath(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "heron-trace critpath:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	wh := flag.Int("wh", 4, "warehouses (= partitions)")
 	clients := flag.Int("clients", 2, "closed-loop clients per partition")
 	requests := flag.Int("requests", 2000, "total requests to trace")
@@ -76,6 +92,43 @@ func main() {
 		fmt.Fprintln(os.Stderr, "heron-trace:", err)
 		os.Exit(1)
 	}
+}
+
+// runCritPath runs one fig6 workload under the critical-path engine and
+// emits the latency-attribution profile.
+func runCritPath(args []string) error {
+	fs := flag.NewFlagSet("critpath", flag.ExitOnError)
+	workload := fs.String("workload", "4WH", "fig6 workload: tpcc or 1WH..4WH (fixed partition count)")
+	requests := fs.Int("requests", 400, "requests to profile")
+	slowest := fs.Int("slowest", 5, "slowest requests to break down individually")
+	asJSON := fs.Bool("json", false, "emit the profile as JSON on stdout")
+	out := fs.String("out", "", "also write the profile JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := bench.RunFig6CritPath(*workload, *requests, *slowest, nil)
+	if err != nil {
+		return err
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		if err := p.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "[profile written to %s]\n", *out)
+	}
+	if *asJSON {
+		return p.WriteJSON(os.Stdout)
+	}
+	fmt.Print(p.Format())
+	return nil
 }
 
 func run(wh, clientsPerPart, totalRequests int, seed int64, workers int, asJSON bool, tracePath string, metrics bool) error {

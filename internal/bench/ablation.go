@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"heron/internal/core"
+	"heron/internal/obs"
 	"heron/internal/sim"
 	"heron/internal/tpcc"
 )
@@ -31,7 +32,7 @@ type CutoffResult struct {
 // of a fraction of a request's execution time practically eliminates
 // laggers, at a small latency cost — the design trade-off the paper's
 // heuristic settles.
-func RunCutoffAblation(cutoffs []sim.Duration, slow sim.Duration, window sim.Duration) (*CutoffResult, error) {
+func RunCutoffAblation(cutoffs []sim.Duration, slow sim.Duration, window sim.Duration, o *obs.Observer) (*CutoffResult, error) {
 	if len(cutoffs) == 0 {
 		cutoffs = []sim.Duration{0, 2 * sim.Microsecond, 5 * sim.Microsecond, 10 * sim.Microsecond, 20 * sim.Microsecond, 50 * sim.Microsecond}
 	}
@@ -42,11 +43,12 @@ func RunCutoffAblation(cutoffs []sim.Duration, slow sim.Duration, window sim.Dur
 		window = 80 * sim.Millisecond
 	}
 	res := &CutoffResult{SlowDelay: slow}
-	for _, cutoff := range cutoffs {
+	for i, cutoff := range cutoffs {
 		s := sim.NewScheduler()
 		opt := DefaultOptions(2)
 		opt.Window = window
 		opt.CutoffDelay = cutoff
+		opt.Obs = o.Scope(fmt.Sprintf("cutoff%d", i))
 		d, _, err := BuildHeron(s, opt)
 		if err != nil {
 			return nil, err

@@ -57,8 +57,10 @@ func (r *ChaosResult) Format() string {
 // the sweep rotates through the generator profiles (churn, partitions,
 // slownic, mixed); otherwise every schedule uses the given profile.
 // Schedule i uses seed base+i, so a failing schedule replays standalone
-// with its printed seed and profile.
-func RunChaos(schedules int, seed int64, profile string, o *obs.Observer) (*ChaosResult, error) {
+// with its printed seed and profile. A non-empty flightDir enables the
+// flight recorder's auto-dumps (crash, violation, sim error) into that
+// directory.
+func RunChaos(schedules int, seed int64, profile, flightDir string, o *obs.Observer) (*ChaosResult, error) {
 	if schedules <= 0 {
 		return nil, fmt.Errorf("bench: chaos needs at least one schedule, got %d", schedules)
 	}
@@ -75,6 +77,7 @@ func RunChaos(schedules int, seed int64, profile string, o *obs.Observer) (*Chao
 		}
 		opt.Schedule = sc
 		opt.Obs = o
+		opt.FlightDir = flightDir
 		if prof == "durable" {
 			// The durable profile exercises the checkpoint + delta recovery
 			// path; a wider store makes the delta saving visible.

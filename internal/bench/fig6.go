@@ -143,6 +143,36 @@ func RunFig6(requests int, o *obs.Observer) (*Fig6Result, error) {
 	return res, nil
 }
 
+// RunFig6CritPath runs one fig6 workload with the causal critical-path
+// engine armed and returns its deterministic latency-attribution profile
+// (heron-trace critpath's backend). workload selects the fixed partition
+// count: "1WH".."4WH", or "tpcc" for the mixed workload. The profile's
+// segment sum equals the total end-to-end latency by construction; the
+// harness CI job asserts they agree within 1%.
+func RunFig6CritPath(workload string, requests, slowestN int, o *obs.Observer) (*obs.CPProfile, error) {
+	if requests <= 0 {
+		requests = 400
+	}
+	if slowestN < 0 {
+		slowestN = 0
+	}
+	cp := obs.NewCritPath(1)
+	o = obs.NewFull(o.Tracer(), o.Metrics(), cp, o.Heat(), o.Flight())
+	var fixed int
+	switch strings.ToLower(workload) {
+	case "tpcc":
+		fixed = 0
+	case "1wh", "2wh", "3wh", "4wh":
+		fixed = int(workload[0] - '0')
+	default:
+		return nil, fmt.Errorf("fig6: unknown workload %q (want tpcc or 1WH..4WH)", workload)
+	}
+	if _, err := runFig6Workload(workload, 4, fixed, requests, 1, o); err != nil {
+		return nil, err
+	}
+	return cp.Profile(slowestN), nil
+}
+
 // Format renders the breakdown and CDF summaries.
 func (r *Fig6Result) Format() string {
 	var b strings.Builder

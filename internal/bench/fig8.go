@@ -6,6 +6,7 @@ import (
 
 	"heron/internal/core"
 	"heron/internal/multicast"
+	"heron/internal/obs"
 	"heron/internal/sim"
 	"heron/internal/store"
 	"heron/internal/tpcc"
@@ -51,7 +52,7 @@ const blobSlotMax = 32*1024 - 16
 // is `slots` 64 KiB dual-version slots plus auxBytes of auxiliary state,
 // then measures a full state transfer onto the rank-2 replica, averaged
 // over `runs` repetitions.
-func measureTransfer(slots, auxBytes, runs int) (Fig8Row, error) {
+func measureTransfer(slots, auxBytes, runs int, o *obs.Observer) (Fig8Row, error) {
 	rec := &LatencyRecorder{}
 	for run := 0; run < runs; run++ {
 		s := sim.NewScheduler()
@@ -80,6 +81,7 @@ func measureTransfer(slots, auxBytes, runs int) (Fig8Row, error) {
 		if err != nil {
 			return Fig8Row{}, err
 		}
+		d.Observe(o)
 		d.Start()
 
 		var lat sim.Duration
@@ -113,7 +115,7 @@ func measureTransfer(slots, auxBytes, runs int) (Fig8Row, error) {
 // slots) and non-serialized (auxiliary, requiring (de)serialization)
 // state. When fullWarehouse is set it also measures the worst case: a
 // complete TPCC warehouse at full scale.
-func RunFig8(runs int, fullWarehouse bool) (*Fig8Result, error) {
+func RunFig8(runs int, fullWarehouse bool, o *obs.Observer) (*Fig8Result, error) {
 	if runs <= 0 {
 		runs = 5
 	}
@@ -131,8 +133,8 @@ func RunFig8(runs int, fullWarehouse bool) (*Fig8Result, error) {
 		{"6.4MB serialized", 100, 0},
 		{"6.4MB non-serialized", 0, 6400 << 10},
 	}
-	for _, c := range cases {
-		row, err := measureTransfer(c.slots, c.aux, runs)
+	for i, c := range cases {
+		row, err := measureTransfer(c.slots, c.aux, runs, o.Scope(fmt.Sprintf("fig8-%d", i)))
 		if err != nil {
 			return nil, fmt.Errorf("fig8 %s: %w", c.label, err)
 		}

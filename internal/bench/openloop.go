@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"heron/internal/multicast"
+	"heron/internal/obs"
 	"heron/internal/rdma"
 	"heron/internal/sim"
 )
@@ -41,7 +42,8 @@ type OpenLoopOptions struct {
 	// PumpsPerGroup is the number of submission pump processes (and client
 	// nodes) collocated with each group.
 	PumpsPerGroup int
-	// PayloadBytes pads every message to this size (min 16).
+	// PayloadBytes pads every message to this size (min 24: the
+	// measurement header carries submit time, client, home group, key).
 	PayloadBytes int
 	// KeySpace and ZipfS shape the key popularity distribution; a key's
 	// home group is key mod Groups. ZipfS must be > 1 (1.07 matches YCSB).
@@ -60,6 +62,15 @@ type OpenLoopOptions struct {
 	Warmup sim.Duration
 	Window sim.Duration
 	Seed   int64
+
+	// Obs optionally attaches the observability layer. With Domains > 1
+	// only its domain-sharded instruments apply (see DomainCluster.Observe);
+	// the critical-path shards and heat partitions are fed either way.
+	Obs *obs.Observer
+	// FlightDir, when non-empty, auto-dumps the flight ring there as a
+	// Perfetto trace if the run's maximum latency is a tail outlier
+	// (> 8x p99.9) — the open-loop analogue of a post-mortem trigger.
+	FlightDir string
 }
 
 // DefaultOpenLoopOptions returns a 100k-client configuration that a
@@ -104,7 +115,18 @@ type OpenLoopResult struct {
 	MeanNS         int64
 	P50NS          int64
 	P99NS          int64
+	P999NS         int64
 	MaxNS          int64
+
+	// Parallel-kernel counters: how many conservative windows the run
+	// barriered through and how many cross-domain events violated the
+	// lookahead. Both zero on one domain.
+	Windows         uint64
+	LateCrossEvents uint64
+
+	// FlightDump is the basename of the latency-outlier flight trace, when
+	// one was written (FlightDir set and max > 8x p99.9).
+	FlightDump string `json:",omitempty"`
 }
 
 // arrival is one generated submission.
@@ -203,12 +225,18 @@ func (pu *openPump) schedule(s *sim.Scheduler, at sim.Time) {
 	})
 }
 
+// openLoopHeader is the measurement header size: submit time [0:8],
+// modeled client [8:12], home group [12:14], key [14:22].
+const openLoopHeader = 22
+
 // encodeOpenLoop packs the measurement header into a payload: submit
-// time, modeled client, home group.
-func encodeOpenLoop(buf []byte, at sim.Time, client uint32, home uint16) {
+// time, modeled client, home group, and the accessed key (the sink feeds
+// it into the home partition's heat sketch).
+func encodeOpenLoop(buf []byte, at sim.Time, client uint32, home uint16, key uint64) {
 	binary.LittleEndian.PutUint64(buf[0:8], uint64(at))
 	binary.LittleEndian.PutUint32(buf[8:12], client)
 	binary.LittleEndian.PutUint16(buf[12:14], home)
+	binary.LittleEndian.PutUint64(buf[14:22], key)
 }
 
 // RunOpenLoop executes one open-loop measurement.
@@ -223,8 +251,8 @@ func RunOpenLoop(opts OpenLoopOptions) (*OpenLoopResult, error) {
 	if opts.PumpsPerGroup < 1 {
 		opts.PumpsPerGroup = 1
 	}
-	if opts.PayloadBytes < 16 {
-		opts.PayloadBytes = 16
+	if opts.PayloadBytes < openLoopHeader+2 {
+		opts.PayloadBytes = openLoopHeader + 2
 	}
 	if opts.ZipfS <= 1 {
 		opts.ZipfS = 1.07
@@ -244,6 +272,13 @@ func RunOpenLoop(opts OpenLoopOptions) (*OpenLoopResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The outlier dump needs an armed ring; graft one on when the caller
+	// asked for dumps but supplied no recorder (recording is passive and
+	// never perturbs the simulation).
+	if opts.FlightDir != "" && opts.Obs.Flight() == nil {
+		opts.Obs = obs.WithFlight(opts.Obs, obs.NewFlightRecorder(opts.Domains, 4096))
+	}
+	dc.Observe(opts.Obs)
 	res := &OpenLoopResult{
 		Groups:      opts.Groups,
 		Replicas:    opts.Replicas,
@@ -256,29 +291,39 @@ func RunOpenLoop(opts OpenLoopOptions) (*OpenLoopResult, error) {
 	horizon := sim.Time(opts.Warmup) + sim.Time(opts.Window)
 
 	// Home-group latency sinks at every group's rank 0. Each sink is
-	// written only by its group's domain thread.
+	// written only by its group's domain thread; the critical-path shard
+	// and heat partition are resolved here, at wiring time, for the same
+	// reason.
 	lats := make([]*LatencyRecorder, opts.Groups)
 	delivered := make([]int, opts.Groups)
 	for g := 0; g < opts.Groups; g++ {
 		g := g
 		lats[g] = &LatencyRecorder{}
 		pr := dc.Procs[g][0]
+		cp := opts.Obs.CritPathShard(dc.SchedOf(g).Domain())
+		heat := opts.Obs.HeatPartition(g)
 		dc.SchedOf(g).Spawn(fmt.Sprintf("ol-sink-g%d", g), func(p *sim.Proc) {
 			for {
 				d, ok := pr.Deliveries().Recv(p)
 				if !ok {
 					return
 				}
-				if len(d.Payload) < 14 {
+				if len(d.Payload) < openLoopHeader {
 					continue
 				}
 				at := sim.Time(binary.LittleEndian.Uint64(d.Payload[0:8]))
 				home := int(binary.LittleEndian.Uint16(d.Payload[12:14]))
+				key := binary.LittleEndian.Uint64(d.Payload[14:22])
 				if home != g || at < sim.Time(opts.Warmup) || at >= horizon {
 					continue // counted at its home group, inside the window only
 				}
 				delivered[g]++
 				lats[g].Add(sim.Duration(p.Now() - at))
+				id := obs.ReqID{Node: uint64(d.ID.Node), Seq: d.ID.Seq}
+				cp.Mark(id, obs.SegDelivered, p.Now())
+				cp.Mark(id, obs.SegComplete, p.Now())
+				heat.RecordExec(p.Now(), sim.Duration(p.Now()-at))
+				heat.Touch(key)
 			}
 		})
 	}
@@ -309,6 +354,8 @@ func RunOpenLoop(opts OpenLoopOptions) (*OpenLoopResult, error) {
 			pumps = append(pumps, pu)
 			pu.schedule(s, pu.interarrival())
 			g := g
+			cp := opts.Obs.CritPathShard(s.Domain())
+			heat := opts.Obs.HeatPartition(g)
 			s.Spawn(fmt.Sprintf("ol-pump-g%d-%d", g, i), func(p *sim.Proc) {
 				payload := make([]byte, opts.PayloadBytes)
 				for {
@@ -316,14 +363,23 @@ func RunOpenLoop(opts OpenLoopOptions) (*OpenLoopResult, error) {
 					if !ok {
 						return
 					}
+					heat.RecordQueue(p.Now(), pu.queue.Len()+1)
 					home := int(a.key) % opts.Groups
 					dst := []multicast.GroupID{multicast.GroupID(home)}
 					if a.dual && opts.Groups > 1 {
 						other := (home + 1 + int(a.key>>32)%(opts.Groups-1)) % opts.Groups
 						dst = append(dst, multicast.GroupID(other))
 					}
-					encodeOpenLoop(payload, a.at, a.client, uint16(home))
-					pu.cl.Multicast(p, dst, payload)
+					encodeOpenLoop(payload, a.at, a.client, uint16(home), a.key)
+					t0 := p.Now()
+					mid := pu.cl.Multicast(p, dst, payload)
+					id := obs.ReqID{Node: uint64(mid.Node), Seq: mid.Seq}
+					cp.Mark(id, obs.SegSubmit, a.at)
+					cp.Record(id, obs.SegPumpWait, a.at, t0)
+					// sent = posting begins: the synthesized ordering
+					// segment then covers posting + network + ordering
+					// with no uncovered gap.
+					cp.Mark(id, obs.SegSent, t0)
 				}
 			})
 		}
@@ -350,12 +406,25 @@ func RunOpenLoop(opts OpenLoopOptions) (*OpenLoopResult, error) {
 	}
 	res.Events = dc.Doms.EventCount()
 	res.VirtualNS = int64(dc.Doms.Now())
+	res.Windows = dc.Doms.Windows()
+	res.LateCrossEvents = dc.Doms.LateCrossEvents()
 	res.ThroughputMsgS = Throughput(res.Delivered, opts.Window)
 	if merged.Count() > 0 {
 		res.MeanNS = int64(merged.Mean())
 		res.P50NS = int64(merged.Percentile(50))
 		res.P99NS = int64(merged.Percentile(99))
+		res.P999NS = int64(merged.Percentile(99.9))
 		res.MaxNS = int64(merged.Max())
+	}
+	// Route the kernel's own counters through the metrics registry and
+	// fire the tail-outlier flight dump (both no-ops when unobserved).
+	obs.RecordDomainStats(opts.Obs.Metrics(), dc.Doms)
+	if fr := opts.Obs.Flight(); fr != nil && opts.FlightDir != "" && res.P999NS > 0 && res.MaxNS > 8*res.P999NS {
+		name := fmt.Sprintf("flight-openloop-%d-outlier.json", opts.Seed)
+		fr.Shard(0).Record(dc.Doms.Now(), obs.FltOutlier, 0, uint64(res.MaxNS), uint64(res.P999NS))
+		if _, derr := fr.DumpFile(opts.FlightDir, name, "latency-outlier"); derr == nil {
+			res.FlightDump = name
+		}
 	}
 	releaseMemory()
 	return res, nil
@@ -377,8 +446,15 @@ func (r *OpenLoopResult) Format() string {
 	fmt.Fprintf(&b, "%-12s %-12s %-12s %-12s %-12s\n", "submitted", "delivered", "backlog", "max_backlog", "events")
 	fmt.Fprintf(&b, "%-12d %-12d %-12d %-12d %-12d\n", r.Submitted, r.Delivered, r.Backlogged, r.MaxBacklog, r.Events)
 	fmt.Fprintf(&b, "throughput: %.0f msg/s\n", r.ThroughputMsgS)
-	fmt.Fprintf(&b, "latency: mean %s  p50 %s  p99 %s  max %s\n",
+	fmt.Fprintf(&b, "latency: mean %s  p50 %s  p99 %s  p99.9 %s  max %s\n",
 		fmtDur(sim.Duration(r.MeanNS)), fmtDur(sim.Duration(r.P50NS)),
-		fmtDur(sim.Duration(r.P99NS)), fmtDur(sim.Duration(r.MaxNS)))
+		fmtDur(sim.Duration(r.P99NS)), fmtDur(sim.Duration(r.P999NS)),
+		fmtDur(sim.Duration(r.MaxNS)))
+	if r.Domains > 1 {
+		fmt.Fprintf(&b, "kernel: %d windows, %d late cross-domain events\n", r.Windows, r.LateCrossEvents)
+	}
+	if r.FlightDump != "" {
+		fmt.Fprintf(&b, "flight dump: %s (max > 8x p99.9)\n", r.FlightDump)
+	}
 	return b.String()
 }

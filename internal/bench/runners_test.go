@@ -98,7 +98,7 @@ func TestFig7Shape(t *testing.T) {
 }
 
 func TestFig8Shape(t *testing.T) {
-	res, err := RunFig8(1, false)
+	res, err := RunFig8(1, false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +126,7 @@ func TestFig8Shape(t *testing.T) {
 }
 
 func TestTable1Shape(t *testing.T) {
-	res, err := RunTable1(20 * sim.Millisecond)
+	res, err := RunTable1(20*sim.Millisecond, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +152,7 @@ func TestTable1Shape(t *testing.T) {
 }
 
 func TestCutoffAblationShape(t *testing.T) {
-	res, err := RunCutoffAblation([]sim.Duration{0, 50 * sim.Microsecond}, 6*sim.Microsecond, 30*sim.Millisecond)
+	res, err := RunCutoffAblation([]sim.Duration{0, 50 * sim.Microsecond}, 6*sim.Microsecond, 30*sim.Millisecond, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

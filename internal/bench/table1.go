@@ -6,6 +6,7 @@ import (
 
 	"heron/internal/core"
 	"heron/internal/multicast"
+	"heron/internal/obs"
 	"heron/internal/sim"
 	"heron/internal/tpcc"
 )
@@ -54,7 +55,7 @@ func (t *delayedTracer) RequestDone(part core.PartitionID, rank int, id multicas
 // replicas were not — and how long the tentative wait for all of them
 // took. Measured at saturation, per partition id, for {2,4} partitions x
 // {3,5} replicas.
-func RunTable1(window sim.Duration) (*Table1Result, error) {
+func RunTable1(window sim.Duration, o *obs.Observer) (*Table1Result, error) {
 	if window <= 0 {
 		window = 150 * sim.Millisecond
 	}
@@ -64,6 +65,7 @@ func RunTable1(window sim.Duration) (*Table1Result, error) {
 			opt := DefaultOptions(parts)
 			opt.Replicas = replicas
 			opt.Window = window
+			opt.Obs = o.Scope(fmt.Sprintf("t1-%dp%dr", parts, replicas))
 			// A generous cut-off measures the true wait-for-all delay.
 			opt.CutoffDelay = sim.Duration(sim.Millisecond)
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"heron/internal/obs"
 	"heron/internal/sim"
 )
 
@@ -23,7 +24,7 @@ type WorkerResult struct {
 // RunWorkerAblation sweeps the execution worker count under a local-only
 // TPCC workload (single-partition requests are what the extension
 // parallelizes; Delivery and Stock-Level still execute as barriers).
-func RunWorkerAblation(workerCounts []int, warehouses int, window sim.Duration) (*WorkerResult, error) {
+func RunWorkerAblation(workerCounts []int, warehouses int, window sim.Duration, o *obs.Observer) (*WorkerResult, error) {
 	if len(workerCounts) == 0 {
 		workerCounts = []int{1, 2, 4, 8}
 	}
@@ -40,6 +41,7 @@ func RunWorkerAblation(workerCounts []int, warehouses int, window sim.Duration) 
 		opt.LocalOnly = true
 		opt.ClientsPerPartition = 12 // enough concurrency to feed workers
 		opt.ExecWorkers = workers
+		opt.Obs = o.Scope(fmt.Sprintf("workers%d", workers))
 		r, err := RunHeron(opt)
 		if err != nil {
 			return nil, fmt.Errorf("workers=%d: %w", workers, err)

@@ -124,6 +124,14 @@ type Engine struct {
 
 	// Reconfigs counts fired EvReconfig events.
 	Reconfigs int
+
+	// flight mirrors every fault into the always-on flight recorder ring
+	// (chaos deployments are single-domain, shard 0).
+	flight *obs.FlightShard
+	// OnCrash, when set, fires after each applied EvCrash — Run wires it
+	// to the flight recorder's auto-dump, so the ring is snapshotted
+	// while the pre-crash history is still in it.
+	OnCrash func(Event)
 }
 
 // Install arms every event of the schedule on the deployment's scheduler.
@@ -139,6 +147,7 @@ func Install(d *core.Deployment, sc Schedule, o *obs.Observer) *Engine {
 		cHeal:      o.Counter("chaos/heal"),
 		cReconfig:  o.Counter("chaos/reconfig"),
 		openParts:  make(map[[4]int]*obs.Span),
+		flight:     o.FlightShard(0),
 	}
 	for _, ev := range sc.Events {
 		ev := ev
@@ -160,6 +169,8 @@ func (e *Engine) crashed(part, rank int) bool {
 // apply fires one event.
 func (e *Engine) apply(ev Event) {
 	f := e.d.Fabric
+	now := e.d.Sched.Now()
+	node := func(part, rank int) uint32 { return uint32(e.node(part, rank)) }
 	switch ev.Kind {
 	case EvCrash:
 		if e.crashed(ev.Part, ev.Rank) {
@@ -169,6 +180,10 @@ func (e *Engine) apply(ev Event) {
 		e.Crashes++
 		e.cCrash.Inc()
 		e.track.Instant("crash", map[string]any{"part": ev.Part, "rank": ev.Rank})
+		e.flight.Record(now, obs.FltCrash, node(ev.Part, ev.Rank), uint64(ev.Part), uint64(ev.Rank))
+		if e.OnCrash != nil {
+			e.OnCrash(ev)
+		}
 	case EvRecover:
 		if !e.crashed(ev.Part, ev.Rank) {
 			return
@@ -180,6 +195,7 @@ func (e *Engine) apply(ev Event) {
 		e.Recoveries++
 		e.cRecover.Inc()
 		e.track.Instant("recover", map[string]any{"part": ev.Part, "rank": ev.Rank})
+		e.flight.Record(now, obs.FltRecover, node(ev.Part, ev.Rank), uint64(ev.Part), uint64(ev.Rank))
 	case EvPartition:
 		a, b := e.node(ev.Part, ev.Rank), e.node(ev.Part2, ev.Rank2)
 		f.PartitionLink(a, b)
@@ -189,6 +205,7 @@ func (e *Engine) apply(ev Event) {
 			"a": fmt.Sprintf("p%d/r%d", ev.Part, ev.Rank),
 			"b": fmt.Sprintf("p%d/r%d", ev.Part2, ev.Rank2),
 		})
+		e.flight.Record(now, obs.FltPartition, node(ev.Part, ev.Rank), uint64(a), uint64(b))
 		key := [4]int{ev.Part, ev.Rank, ev.Part2, ev.Rank2}
 		if e.openParts[key] == nil {
 			e.openParts[key] = e.track.BeginAsync("chaos", "partition").
@@ -203,6 +220,7 @@ func (e *Engine) apply(ev Event) {
 			"a": fmt.Sprintf("p%d/r%d", ev.Part, ev.Rank),
 			"b": fmt.Sprintf("p%d/r%d", ev.Part2, ev.Rank2),
 		})
+		e.flight.Record(now, obs.FltHeal, node(ev.Part, ev.Rank), uint64(a), uint64(b))
 		key := [4]int{ev.Part, ev.Rank, ev.Part2, ev.Rank2}
 		if sp := e.openParts[key]; sp != nil {
 			sp.End()
@@ -220,6 +238,7 @@ func (e *Engine) apply(ev Event) {
 			f.SetLinkDrop(peer, a, ev.Drop)
 		}
 		e.track.Instant("slow-link", map[string]any{"part": ev.Part, "rank": ev.Rank})
+		e.flight.Record(now, obs.FltSlowLink, node(ev.Part, ev.Rank), uint64(ev.Extra), uint64(ev.Drop*1e6))
 	case EvClearLink:
 		a := e.node(ev.Part, ev.Rank)
 		for _, peer := range e.allNodes() {
@@ -236,6 +255,7 @@ func (e *Engine) apply(ev Event) {
 		e.Reconfigs++
 		e.cReconfig.Inc()
 		e.track.Instant("reconfig", nil)
+		e.flight.Record(now, obs.FltReconfig, 0, uint64(ev.Part), uint64(ev.Rank))
 		if e.Reconfig != nil {
 			e.Reconfig(ev)
 		}

@@ -39,6 +39,12 @@ type Options struct {
 	// crashed replicas recover from their own checkpoint plus a delta
 	// transfer instead of a full state transfer.
 	Persist *persist.Options
+	// FlightDir, when non-empty, enables flight-recorder auto-dumps: the
+	// always-armed ring is written there as a Perfetto trace on every
+	// injected crash, on a linearizability violation, and on a simulation
+	// error (e.g. deadlock). Dump filenames derive from the schedule's
+	// profile and seed, so reports stay deterministic.
+	FlightDir string
 }
 
 // DefaultOptions returns a topology and workload sized for the checker:
@@ -90,6 +96,11 @@ type Report struct {
 	RecoveryNS         int64  `json:"recovery_ns,omitempty"`
 	TruncatedEntries   uint64 `json:"truncated_log_entries,omitempty"`
 
+	// FlightDumps lists the basenames of flight-recorder traces written
+	// during the run (empty unless Options.FlightDir is set and a trigger
+	// fired).
+	FlightDumps []string `json:"flight_dumps,omitempty"`
+
 	Err string `json:"error,omitempty"`
 }
 
@@ -134,20 +145,41 @@ func Run(opt Options) (*Report, error) {
 		return nil, err
 	}
 	d.Fabric.SetFaultSeed(opt.Schedule.Seed)
-	d.Observe(opt.Obs)
+	// The flight recorder is always armed, whether or not the caller
+	// observes the run: the ring costs a few KB and is the only record of
+	// what led up to a violation or deadlock.
+	obsv := opt.Obs
+	if obsv.Flight() == nil {
+		obsv = obs.WithFlight(obsv, obs.NewFlightRecorder(1, 4096))
+	}
+	d.Observe(obsv)
 	var pl *persist.Layer
 	if opt.Persist != nil {
 		pl = persist.Attach(d, opt.Persist)
-		pl.Observe(opt.Obs)
+		pl.Observe(obsv)
 	}
 	d.Start()
-	eng := Install(d, opt.Schedule, opt.Obs)
+	eng := Install(d, opt.Schedule, obsv)
 
 	rep := &Report{
 		Seed:    opt.Schedule.Seed,
 		Profile: opt.Schedule.Profile,
 		Events:  len(opt.Schedule.Events),
 	}
+	// dump snapshots the flight ring into FlightDir; filenames carry the
+	// profile, seed, dump ordinal and reason, so the report's dump list is
+	// byte-identical across same-seed runs.
+	dump := func(reason string) {
+		if opt.FlightDir == "" {
+			return
+		}
+		name := fmt.Sprintf("flight-%s-%d-%d-%s.json",
+			opt.Schedule.Profile, opt.Schedule.Seed, len(rep.FlightDumps), reason)
+		if _, derr := obsv.Flight().DumpFile(opt.FlightDir, name, reason); derr == nil {
+			rep.FlightDumps = append(rep.FlightDumps, name)
+		}
+	}
+	eng.OnCrash = func(Event) { dump("crash") }
 	var history []lincheck.Operation
 	// Client procs run in virtual time: appends never race.
 	for ci := 0; ci < opt.Clients; ci++ {
@@ -193,6 +225,9 @@ func Run(opt Options) (*Report, error) {
 	}
 
 	if err := s.RunUntil(sim.Time(opt.Horizon)); err != nil {
+		// Deadlocks and other simulation errors are exactly the moments
+		// the ring exists for: dump before surfacing the error.
+		dump("sim-error")
 		return nil, err
 	}
 	eng.Close()
@@ -239,5 +274,8 @@ func Run(opt Options) (*Report, error) {
 	}
 	rep.Checked = true
 	rep.Linearizable = ok
+	if !ok {
+		dump("lincheck-violation")
+	}
 	return rep, nil
 }

@@ -25,6 +25,9 @@ type Client struct {
 	// (undecodable, wrong kind, or stale responses to earlier requests).
 	// nil (no-op) until an observer is attached.
 	dropped *obs.Counter
+	// cp records the client-side critical-path marks (submit, sent,
+	// complete); nil (no-op) until an observer is attached.
+	cp *obs.CPShard
 }
 
 // Observe attaches the client's dropped-datagram counter to an observer.
@@ -33,6 +36,7 @@ type Client struct {
 func (c *Client) Observe(o *obs.Observer) {
 	if o != nil {
 		c.dropped = o.Counter("client_dropped_datagrams")
+		c.cp = o.CritPathShard(0)
 	}
 }
 
@@ -46,8 +50,11 @@ func (c *Client) NodeID() rdma.NodeID { return c.node.ID() }
 // Submit sends one request and waits for the first response from every
 // destination partition. It returns the responses keyed by partition.
 func (c *Client) Submit(p *sim.Proc, dst []PartitionID, payload []byte) (map[PartitionID][]byte, error) {
+	t0 := p.Now()
 	id := c.mc.Multicast(p, dst, payload)
 	c.lastID = id
+	c.cp.Mark(cpID(id), obs.SegSubmit, t0)
+	c.cp.Mark(cpID(id), obs.SegSent, p.Now())
 	want := make(map[PartitionID]bool, len(dst))
 	for _, h := range dst {
 		want[h] = true
@@ -74,14 +81,18 @@ func (c *Client) Submit(p *sim.Proc, dst []PartitionID, payload []byte) (map[Par
 			}
 		}
 	}
+	c.cp.Mark(cpID(id), obs.SegComplete, p.Now())
 	return got, nil
 }
 
 // SubmitTimeout is Submit with a deadline; ok=false means the responses
 // did not all arrive in time (e.g. too many replica failures).
 func (c *Client) SubmitTimeout(p *sim.Proc, dst []PartitionID, payload []byte, d sim.Duration) (map[PartitionID][]byte, bool) {
+	t0 := p.Now()
 	id := c.mc.Multicast(p, dst, payload)
 	c.lastID = id
+	c.cp.Mark(cpID(id), obs.SegSubmit, t0)
+	c.cp.Mark(cpID(id), obs.SegSent, p.Now())
 	deadline := p.Now() + sim.Time(d)
 	want := make(map[PartitionID]bool, len(dst))
 	for _, h := range dst {
@@ -113,5 +124,6 @@ func (c *Client) SubmitTimeout(p *sim.Proc, dst []PartitionID, payload []byte, d
 			}
 		}
 	}
+	c.cp.Mark(cpID(id), obs.SegComplete, p.Now())
 	return got, true
 }

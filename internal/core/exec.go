@@ -19,6 +19,7 @@ func (r *Replica) execute(p *sim.Proc, req *Request, tk *obs.Track) ([]byte, boo
 	readSet := r.app.ReadSet(req)
 	values := make(map[store.OID][]byte, len(readSet))
 	var remote []remoteRead
+	lrT0 := p.Now()
 	for _, oid := range readSet {
 		h := r.parter.PartitionOf(oid)
 		if h != r.part {
@@ -42,12 +43,14 @@ func (r *Replica) execute(p *sim.Proc, req *Request, tk *obs.Track) ([]byte, boo
 		}
 		values[oid] = val
 	}
+	r.obs.cp.Record(cpID(req.ID), obs.SegLocalRead, lrT0, p.Now())
 	if len(remote) > 0 && !r.resolveRemote(p, req, remote, values, tk) {
 		// Lagger: state transfer already ran inside resolveRemote.
 		sp.Arg("lagger", true).End()
 		return nil, false
 	}
 
+	appT0 := p.Now()
 	app := tk.Begin("app_execute")
 	ctx := &ExecContext{
 		Req:       req,
@@ -69,6 +72,8 @@ func (r *Replica) execute(p *sim.Proc, req *Request, tk *obs.Track) ([]byte, boo
 	if out.CPU > 0 {
 		p.Sleep(out.CPU)
 	}
+	r.obs.cp.Record(cpID(req.ID), obs.SegAppExecute, appT0, p.Now())
+	wrT0 := p.Now()
 	for _, w := range out.Writes {
 		if r.parter.PartitionOf(w.OID) != r.part {
 			continue // replicas update local objects only (Section III-A)
@@ -78,6 +83,7 @@ func (r *Replica) execute(p *sim.Proc, req *Request, tk *obs.Track) ([]byte, boo
 			panic(fmt.Sprintf("heron: replica p%d/r%d: write %d: %v", r.part, r.rank, w.OID, err))
 		}
 	}
+	r.obs.cp.Record(cpID(req.ID), obs.SegWriteApply, wrT0, p.Now())
 	app.Arg("writes", len(out.Writes)).End()
 	sp.End()
 	return out.Response, true
@@ -104,7 +110,7 @@ type remoteRead struct {
 // ok=false (lines 23-25).
 func (r *Replica) resolveRemote(p *sim.Proc, req *Request, reads []remoteRead, values map[store.OID][]byte, tk *obs.Track) bool {
 	fo := tk.Begin("read_fanout").Arg("objects", len(reads))
-	r.batchQueryAddrs(p, reads, tk)
+	r.batchQueryAddrs(p, req, reads, tk)
 
 	excluded := make(map[PartitionID]map[rdma.NodeID]bool)
 	exclude := func(h PartitionID, n rdma.NodeID) {
@@ -127,6 +133,7 @@ func (r *Replica) resolveRemote(p *sim.Proc, req *Request, reads []remoteRead, v
 		targets := make(map[PartitionID]peerInfo)
 		var posts []posted
 		var deferred []remoteRead
+		postT0 := p.Now()
 		for _, rr := range pending {
 			info, grouped := targets[rr.part]
 			ent, have := r.objMap[objMapKey{oid: rr.oid, node: info.node}]
@@ -139,7 +146,7 @@ func (r *Replica) resolveRemote(p *sim.Proc, req *Request, reads []remoteRead, v
 				if !ok {
 					// No coordinated replica with a known address yet; widen
 					// the address map and retry next round.
-					r.batchQueryAddrs(p, []remoteRead{rr}, tk)
+					r.batchQueryAddrs(p, req, []remoteRead{rr}, tk)
 					delete(excluded, rr.part)
 					deferred = append(deferred, rr)
 					continue
@@ -165,8 +172,12 @@ func (r *Replica) resolveRemote(p *sim.Proc, req *Request, reads []remoteRead, v
 
 		// One wait for the whole batch: a crashed target fails only its own
 		// completions (after the failure timeout), never the batch.
+		r.obs.cp.Record(cpID(req.ID), obs.SegReadPost, postT0, p.Now())
+		nicT0 := p.Now()
 		cq.WaitAll(p)
+		r.obs.cp.Record(cpID(req.ID), obs.SegNicWait, nicT0, p.Now())
 
+		vsT0 := p.Now()
 		vs := tk.Begin("version_select").Arg("completions", len(posts))
 		pending = deferred
 		for _, po := range posts {
@@ -200,6 +211,7 @@ func (r *Replica) resolveRemote(p *sim.Proc, req *Request, reads []remoteRead, v
 			values[po.rr.oid] = v.Val
 		}
 		vs.End()
+		r.obs.cp.Record(cpID(req.ID), obs.SegVersionSelect, vsT0, p.Now())
 	}
 	if len(pending) > 0 {
 		panic(fmt.Sprintf("heron: replica p%d/r%d: cannot read %d remote objects, first %d from partition %d (majority unreachable?)",
@@ -266,7 +278,7 @@ func (r *Replica) hasAddrQuorum(oid store.OID, h PartitionID) bool {
 // OID (Algorithm 2, lines 8-13). Replies are recorded by the control
 // process into objMap; queryCond is broadcast on every recorded reply.
 // Send failures are tolerated: the retransmission round resends.
-func (r *Replica) batchQueryAddrs(p *sim.Proc, reads []remoteRead, tk *obs.Track) {
+func (r *Replica) batchQueryAddrs(p *sim.Proc, req *Request, reads []remoteRead, tk *obs.Track) {
 	// Group unknown OIDs per partition in read-set order (deterministic —
 	// never range over the map when sending).
 	var parts []PartitionID
@@ -289,7 +301,11 @@ func (r *Replica) batchQueryAddrs(p *sim.Proc, reads []remoteRead, tk *obs.Track
 		return
 	}
 	aq := tk.Begin("addr_resolve").Arg("objects", len(seen))
-	defer aq.End()
+	aqT0 := p.Now()
+	defer func() {
+		r.obs.cp.Record(cpID(req.ID), obs.SegAddrResolve, aqT0, p.Now())
+		aq.End()
+	}()
 	resolved := func() bool {
 		for _, h := range parts {
 			for _, oid := range unknown[h] {

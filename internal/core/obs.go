@@ -3,9 +3,15 @@ package core
 import (
 	"fmt"
 
+	"heron/internal/multicast"
 	"heron/internal/obs"
 	"heron/internal/sim"
 )
+
+// cpID maps a multicast message id to the critical-path request id.
+func cpID(id multicast.MsgID) obs.ReqID {
+	return obs.ReqID{Node: uint64(id.Node), Seq: id.Seq}
+}
 
 // replicaObs bundles a replica's observability instruments. Every replica
 // holds one; its fields stay nil until observe() runs, and every obs
@@ -33,6 +39,14 @@ type replicaObs struct {
 	stFullBytes    *obs.Counter
 	stDeltaBytes   *obs.Counter
 	stFallbackFull *obs.Counter
+
+	// Sharded PR 7 instruments, resolved at wiring time (core
+	// deployments live on one scheduler, so shard/domain 0). cp and
+	// heat are wired at rank 0 only — one attribution record per
+	// partition per request, matching the trace-collection convention.
+	cp     *obs.CPShard
+	heat   *obs.PartitionHeat
+	flight *obs.FlightShard
 }
 
 // observe resolves the replica's instruments against an observer.
@@ -56,6 +70,11 @@ func (r *Replica) observe(o *obs.Observer, s *sim.Scheduler) {
 		stFullBytes:    o.Counter("core/st_full_bytes"),
 		stDeltaBytes:   o.Counter("core/st_delta_bytes"),
 		stFallbackFull: o.Counter("core/st_fallback_full"),
+		flight:         o.FlightShard(0),
+	}
+	if r.rank == 0 {
+		r.obs.cp = o.CritPathShard(0)
+		r.obs.heat = o.HeatPartition(int(r.part))
 	}
 }
 

@@ -143,6 +143,7 @@ func (r *Replica) runWorker(pl *execPool, idx int, tk *obs.Track) func(p *sim.Pr
 				r.statExecuted++
 				r.obs.executed.Inc()
 				it.rec.Done = p.Now()
+				r.noteDone(it.req, it.rec)
 				r.reply(p, it.req, resp)
 				r.trace(it.req, it.rec)
 			}
@@ -186,6 +187,7 @@ func (r *Replica) runParallelExecutor(p *sim.Proc) {
 			continue
 		}
 		rec := TraceRecord{Delivered: p.Now(), MultiPartition: req.MultiPartition()}
+		r.obs.cp.Mark(cpID(req.ID), obs.SegDelivered, rec.Delivered)
 
 		if !req.MultiPartition() && canEstimate {
 			if reads, writes, okEst := estimator.ConflictSets(req); okEst {
@@ -219,6 +221,7 @@ func (r *Replica) processSerial(p *sim.Proc, req *Request, rec TraceRecord) {
 		r.statExecuted++
 		r.obs.executed.Inc()
 		rec.Done = p.Now()
+		r.noteDone(req, rec)
 		r.reply(p, req, resp)
 		r.trace(req, rec)
 		sp.End()
@@ -234,6 +237,7 @@ func (r *Replica) processSerial(p *sim.Proc, req *Request, rec TraceRecord) {
 	r.waitCoordination(p, req, phaseBefore, r.cfg.CutoffPhase2, nil)
 	c2.End()
 	rec.CoordPhase2 = sim.Duration(p.Now() - t0)
+	r.obs.cp.Record(cpID(req.ID), obs.SegCoord2Wait, t0, p.Now())
 
 	t0 = p.Now()
 	resp, ok := r.execute(p, req, tk)
@@ -250,11 +254,39 @@ func (r *Replica) processSerial(p *sim.Proc, req *Request, rec TraceRecord) {
 	r.waitCoordination(p, req, phaseAfter, true, &rec)
 	c4.End()
 	rec.CoordPhase4 = sim.Duration(p.Now() - t0)
+	r.obs.cp.Record(cpID(req.ID), obs.SegCoord4Wait, t0, p.Now())
 
 	r.statExecuted++
 	r.obs.executed.Inc()
 	rec.Done = p.Now()
+	r.noteDone(req, rec)
 	r.reply(p, req, resp)
 	r.trace(req, rec)
 	sp.End()
+}
+
+// noteDone records the request's completion into the sharded PR 7
+// instruments: the critical-path done mark, the partition's heat series
+// (service latency = done - delivered), the key-skew sketch, and the
+// flight ring. All no-ops when disabled.
+func (r *Replica) noteDone(req *Request, rec TraceRecord) {
+	ro := r.obs
+	if ro.cp == nil && ro.heat == nil && ro.flight == nil {
+		return
+	}
+	ro.cp.Mark(cpID(req.ID), obs.SegDone, rec.Done)
+	ro.heat.RecordExec(rec.Done, sim.Duration(rec.Done-rec.Delivered))
+	if ro.heat != nil {
+		if hk, ok := r.app.(HeatKeyer); ok {
+			ro.heat.Touch(hk.HeatKey(req))
+		}
+	}
+	ro.flight.Record(rec.Done, obs.FltExec, uint32(r.node.ID()), uint64(req.Ts), uint64(rec.Done-rec.Delivered))
+}
+
+// HeatKeyer is an optional Application extension feeding the per-
+// partition key-skew sketch: it maps a request to the hot-key identity
+// that should be charged for it (e.g. TPCC's warehouse id).
+type HeatKeyer interface {
+	HeatKey(req *Request) uint64
 }

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"heron/internal/multicast"
+	"heron/internal/obs"
 	"heron/internal/rdma"
 	"heron/internal/sim"
 	"heron/internal/store"
@@ -347,6 +348,7 @@ func (r *Replica) runExecutor(p *sim.Proc) {
 		}
 
 		rec := TraceRecord{Delivered: p.Now(), MultiPartition: req.MultiPartition()}
+		r.obs.cp.Mark(cpID(req.ID), obs.SegDelivered, rec.Delivered)
 		// Lines 5-7 (single-partition fast path) and 8-17 (coordinated
 		// multi-partition execution).
 		r.processSerial(p, req, rec)

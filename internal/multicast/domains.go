@@ -3,6 +3,7 @@ package multicast
 import (
 	"fmt"
 
+	"heron/internal/obs"
 	"heron/internal/rdma"
 	"heron/internal/sim"
 )
@@ -116,6 +117,29 @@ func NewDomainCluster(groups, replicas, domains, clientsPerGroup int, netCfg rdm
 		}
 	}
 	return dc, nil
+}
+
+// Observe attaches an observability layer to the cluster's fabric and
+// every replica process. With one domain the full layer applies; with
+// several, only the domain-sharded instruments (critical path, heat,
+// flight recorder) are wired — the tracer and the metrics registry are
+// single-domain structures (see the type comment).
+func (dc *DomainCluster) Observe(o *obs.Observer) {
+	if o == nil {
+		return
+	}
+	if dc.domains > 1 {
+		o = o.Sharded()
+		if o == nil {
+			return
+		}
+	}
+	dc.Fab.Observe(o)
+	for _, grp := range dc.Procs {
+		for _, pr := range grp {
+			pr.Observe(o)
+		}
+	}
 }
 
 // SchedOf returns the scheduler of the domain hosting group g.

@@ -133,6 +133,11 @@ type Process struct {
 	obsTruncated   *obs.Counter
 	obsFirstSeen   map[MsgID]sim.Time
 	vcSpan         *obs.Span
+	// obsFlight is this process's domain's flight-recorder ring;
+	// obsHeat (rank 0 only) feeds the group's partition-heat queue-depth
+	// series from the pending-ordering backlog.
+	obsFlight *obs.FlightShard
+	obsHeat   *obs.PartitionHeat
 }
 
 // Observe attaches observability instruments: the ordering-latency
@@ -149,6 +154,10 @@ func (pr *Process) Observe(o *obs.Observer) {
 	pr.obsViewChanges = o.Counter(fmt.Sprintf("mc/g%d/view_changes", pr.group))
 	pr.obsTruncated = o.Counter(fmt.Sprintf("mc/g%d/truncated", pr.group))
 	pr.obsFirstSeen = make(map[MsgID]sim.Time)
+	pr.obsFlight = o.FlightShard(pr.sched.Domain())
+	if pr.rank == 0 {
+		pr.obsHeat = o.HeatPartition(int(pr.group))
+	}
 }
 
 // NewProcess creates the multicast replica for (group, rank) of the
@@ -633,6 +642,11 @@ func (pr *Process) deliverCommitted() {
 		pr.statDelivered++
 		progressed = true
 		pr.obsDelivered.Inc()
+		if pr.rank == 0 {
+			// One flight record per group per delivery keeps the ring's
+			// recent history readable under load.
+			pr.obsFlight.Record(pr.sched.Now(), obs.FltDeliver, uint32(pr.id), e.id.Seq, uint64(e.ts))
+		}
 		if pr.obsFirstSeen != nil {
 			if t0, seen := pr.obsFirstSeen[e.id]; seen {
 				pr.obsOrderLat.Observe(sim.Duration(pr.sched.Now() - t0))
@@ -642,7 +656,9 @@ func (pr *Process) deliverCommitted() {
 	}
 	if progressed {
 		// Pending-queue depth over virtual time, rendered as a counter
-		// series in the trace viewer.
+		// series in the trace viewer and fed into the partition-heat
+		// backlog series.
 		pr.obsTrack.Count("mc_pending", float64(len(pr.pending)))
+		pr.obsHeat.RecordQueue(pr.sched.Now(), len(pr.pending))
 	}
 }

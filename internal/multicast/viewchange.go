@@ -3,6 +3,7 @@ package multicast
 import (
 	"sort"
 
+	"heron/internal/obs"
 	"heron/internal/rdma"
 	"heron/internal/sim"
 )
@@ -27,6 +28,7 @@ func (pr *Process) suspectNext(p *sim.Proc) {
 // quorum of view states.
 func (pr *Process) startCandidacy(p *sim.Proc, v uint64) {
 	pr.obsViewChanges.Inc()
+	pr.obsFlight.Record(p.Now(), obs.FltViewChange, uint32(pr.id), v, uint64(pr.group))
 	pr.vcSpan.End() // close any earlier, failed candidacy span
 	if pr.obsTrack != nil {
 		pr.vcSpan = pr.obsTrack.BeginAsync("mc", "view_change").Arg("view", v)

@@ -1,0 +1,27 @@
+package obs
+
+import (
+	"fmt"
+
+	"heron/internal/sim"
+)
+
+// RecordDomainStats routes the parallel simulation kernel's own
+// counters — conservative windows (barrier synchronizations), late
+// cross-domain events, and per-domain event counts — through the
+// metrics registry, so the kernel is observable like every other
+// subsystem. Call it after a run completes (the kernel counters are
+// read from the coordinating thread). A nil registry or nil domains is
+// a no-op.
+func RecordDomainStats(m *Metrics, d *sim.Domains) {
+	if m == nil || d == nil {
+		return
+	}
+	m.Gauge("sim/domains").Set(int64(d.Len()))
+	m.Gauge("sim/windows").Set(int64(d.Windows()))
+	m.Gauge("sim/late_cross_events").Set(int64(d.LateCrossEvents()))
+	m.Gauge("sim/events").Set(int64(d.EventCount()))
+	for i := 0; i < d.Len(); i++ {
+		m.Gauge(fmt.Sprintf("sim/domain%d/events", i)).Set(int64(d.Domain(i).EventCount()))
+	}
+}

@@ -1,0 +1,235 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"heron/internal/sim"
+)
+
+// Always-on flight recorder: a fixed-size per-domain ring buffer of
+// cheap binary event records. Recording one event is a couple of integer
+// stores into a preallocated ring — no allocation, no formatting, no
+// branching on configuration beyond one nil test — so the recorder can
+// stay armed on every run. When a trigger fires (lincheck violation,
+// chaos crash, simulation deadlock, latency outlier) the ring is dumped
+// as a Chrome trace_event / Perfetto file, so the failure ships with the
+// protocol-level history that led up to it.
+
+// FlightKind classifies one flight record.
+type FlightKind uint8
+
+const (
+	FltSubmit        FlightKind = iota // client/pump handed a request to the multicast
+	FltDeliver                         // atomic multicast delivered a message
+	FltCommit                          // proposal committed at a group leader
+	FltViewChange                      // multicast view change
+	FltExec                            // replica finished executing a request
+	FltStateTransfer                   // replica ran a state transfer
+	FltCrash                           // fault injection: node crash
+	FltRecover                         // fault injection: node recovery
+	FltPartition                       // fault injection: link partition
+	FltHeal                            // fault injection: link heal
+	FltSlowLink                        // fault injection: link degradation
+	FltReconfig                        // reconfiguration event fired
+	FltCheckpoint                      // durable checkpoint written
+	FltVerbError                       // rdma verb posting/completion error
+	FltOutlier                         // latency outlier trigger marker
+
+	fltCount
+)
+
+var fltNames = [fltCount]string{
+	"submit", "deliver", "commit", "view_change", "exec", "state_transfer",
+	"crash", "recover", "partition", "heal", "slow_link", "reconfig",
+	"checkpoint", "verb_error", "outlier",
+}
+
+// String names the kind for the dumped trace.
+func (k FlightKind) String() string {
+	if int(k) < len(fltNames) {
+		return fltNames[k]
+	}
+	return fmt.Sprintf("flight(%d)", int(k))
+}
+
+// FlightRec is one binary event record: 32 bytes, no pointers.
+type FlightRec struct {
+	At   sim.Time
+	A, B uint64 // kind-specific payload (ids, timestamps, byte counts)
+	Node uint32 // originating fabric node (0 when not node-scoped)
+	Kind FlightKind
+}
+
+// FlightShard is one domain's ring. Only the owning domain's thread may
+// record into it; the ring buffer is allocated lazily on first use, so
+// an armed-but-silent recorder costs a few words per domain. All methods
+// are no-ops on a nil shard.
+type FlightShard struct {
+	buf     []FlightRec
+	cap     int
+	next    int
+	wrapped bool
+}
+
+// Record appends one event, overwriting the oldest once the ring is full.
+func (s *FlightShard) Record(at sim.Time, kind FlightKind, node uint32, a, b uint64) {
+	if s == nil {
+		return
+	}
+	if s.buf == nil {
+		s.buf = make([]FlightRec, s.cap)
+	}
+	s.buf[s.next] = FlightRec{At: at, Kind: kind, Node: node, A: a, B: b}
+	s.next++
+	if s.next == s.cap {
+		s.next = 0
+		s.wrapped = true
+	}
+}
+
+// Len returns the number of live records in the ring.
+func (s *FlightShard) Len() int {
+	if s == nil || s.buf == nil {
+		return 0
+	}
+	if s.wrapped {
+		return s.cap
+	}
+	return s.next
+}
+
+// records returns the live records, oldest first.
+func (s *FlightShard) records() []FlightRec {
+	if s == nil || s.buf == nil {
+		return nil
+	}
+	if !s.wrapped {
+		return s.buf[:s.next]
+	}
+	out := make([]FlightRec, 0, s.cap)
+	out = append(out, s.buf[s.next:]...)
+	out = append(out, s.buf[:s.next]...)
+	return out
+}
+
+// FlightRecorder owns the per-domain rings of one run.
+type FlightRecorder struct {
+	shards []*FlightShard
+}
+
+// NewFlightRecorder creates a recorder with one ring of perDomainCap
+// records per simulation domain. Ring memory is allocated on first
+// record, not up front.
+func NewFlightRecorder(domains, perDomainCap int) *FlightRecorder {
+	if domains < 1 {
+		domains = 1
+	}
+	if perDomainCap < 16 {
+		perDomainCap = 16
+	}
+	f := &FlightRecorder{shards: make([]*FlightShard, domains)}
+	for i := range f.shards {
+		f.shards[i] = &FlightShard{cap: perDomainCap}
+	}
+	return f
+}
+
+// Shard returns the ring for a domain (clamped into range; nil-safe).
+func (f *FlightRecorder) Shard(domain int) *FlightShard {
+	if f == nil {
+		return nil
+	}
+	if domain < 0 || domain >= len(f.shards) {
+		domain = 0
+	}
+	return f.shards[domain]
+}
+
+// Len returns the live record count across all shards.
+func (f *FlightRecorder) Len() int {
+	if f == nil {
+		return 0
+	}
+	n := 0
+	for _, s := range f.shards {
+		n += s.Len()
+	}
+	return n
+}
+
+// WriteTrace dumps the merged rings as a Chrome trace_event file
+// (loadable in chrome://tracing and Perfetto): one "flight" process with
+// a thread per fabric node, every record an instant event carrying its
+// payload. reason labels the dump in a metadata header. Records merge in
+// a content-determined order — (time, node, kind, payload) — so the
+// output is independent of shard layout: the same recorded history
+// serializes to the same bytes under any domain count.
+func (f *FlightRecorder) WriteTrace(w io.Writer, reason string) error {
+	var recs []FlightRec
+	if f != nil {
+		for _, s := range f.shards {
+			recs = append(recs, s.records()...)
+		}
+	}
+	sort.SliceStable(recs, func(i, j int) bool {
+		a, b := recs[i], recs[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.A != b.A {
+			return a.A < b.A
+		}
+		return a.B < b.B
+	})
+
+	out := []jsonEvent{{Name: "process_name", Ph: "M", Pid: 1, Tid: 0,
+		Args: map[string]any{"name": "flight-recorder", "reason": reason}}}
+	seenTid := make(map[int]bool)
+	for _, r := range recs {
+		tid := int(r.Node) + 1
+		if !seenTid[tid] {
+			seenTid[tid] = true
+			out = append(out, jsonEvent{Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
+				Args: map[string]any{"name": fmt.Sprintf("node%d", r.Node)}})
+		}
+		out = append(out, jsonEvent{
+			Name: r.Kind.String(),
+			Cat:  "flight",
+			Ph:   "i",
+			S:    "t",
+			Ts:   usec(r.At),
+			Pid:  1,
+			Tid:  tid,
+			Args: map[string]any{"a": r.A, "b": r.B},
+		})
+	}
+	return writeTraceEvents(w, out)
+}
+
+// DumpFile writes the trace to dir/name, creating dir if needed, and
+// returns the full path.
+func (f *FlightRecorder) DumpFile(dir, name, reason string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, name)
+	fh, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	if err := f.WriteTrace(fh, reason); err != nil {
+		fh.Close()
+		return "", err
+	}
+	return path, fh.Close()
+}

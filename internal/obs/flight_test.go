@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+
+	"heron/internal/sim"
+	"testing"
+)
+
+// TestFlightRingWrap checks the ring keeps exactly the newest perDomainCap
+// records, oldest first.
+func TestFlightRingWrap(t *testing.T) {
+	fr := NewFlightRecorder(1, 16)
+	sh := fr.Shard(0)
+	for i := 0; i < 40; i++ {
+		sh.Record(sim.Time(i), FltDeliver, 1, uint64(i), 0)
+	}
+	if sh.Len() != 16 {
+		t.Fatalf("ring holds %d records, want 16", sh.Len())
+	}
+	recs := sh.records()
+	if recs[0].A != 24 || recs[len(recs)-1].A != 39 {
+		t.Fatalf("ring window [%d..%d], want [24..39]", recs[0].A, recs[len(recs)-1].A)
+	}
+}
+
+// TestFlightTraceShardIndependence: the same records produce a
+// byte-identical trace whether recorded into one ring or scattered over
+// four (the multi-domain merge guarantee).
+func TestFlightTraceShardIndependence(t *testing.T) {
+	one := NewFlightRecorder(1, 256)
+	four := NewFlightRecorder(4, 256)
+	for i := 0; i < 60; i++ {
+		at := sim.Time(i * 100)
+		node := uint32(1 + i%5)
+		one.Shard(0).Record(at, FltDeliver, node, uint64(i), 7)
+	}
+	for i := 59; i >= 0; i-- {
+		at := sim.Time(i * 100)
+		node := uint32(1 + i%5)
+		four.Shard(i%4).Record(at, FltDeliver, node, uint64(i), 7)
+	}
+	var a, b bytes.Buffer
+	if err := one.WriteTrace(&a, "test"); err != nil {
+		t.Fatal(err)
+	}
+	if err := four.WriteTrace(&b, "test"); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("flight traces differ across shard layouts")
+	}
+}
+
+// TestFlightDumpFileLoadable checks DumpFile writes a valid Chrome
+// trace_event JSON object with instant events (the chrome://tracing
+// loadability criterion).
+func TestFlightDumpFileLoadable(t *testing.T) {
+	fr := NewFlightRecorder(2, 64)
+	fr.Shard(0).Record(sim.Time(1000), FltCrash, 3, 0, 1)
+	fr.Shard(1).Record(sim.Time(2000), FltRecover, 3, 0, 1)
+	dir := t.TempDir()
+	path, err := fr.DumpFile(dir, "flight-test.json", "unit-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != filepath.Join(dir, "flight-test.json") {
+		t.Fatalf("unexpected path %s", path)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Pid  int    `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &parsed); err != nil {
+		t.Fatalf("dump is not valid JSON: %v", err)
+	}
+	var instants int
+	names := map[string]bool{}
+	for _, ev := range parsed.TraceEvents {
+		if ev.Ph == "i" {
+			instants++
+			names[ev.Name] = true
+		}
+	}
+	if instants != 2 || !names["crash"] || !names["recover"] {
+		t.Fatalf("dump events: %d instants, names %v", instants, names)
+	}
+}
+
+// TestFlightNilSafety: nil recorders and shards are no-ops.
+func TestFlightNilSafety(t *testing.T) {
+	var fr *FlightRecorder
+	var sh *FlightShard
+	sh.Record(0, FltExec, 1, 2, 3)
+	if sh.Len() != 0 || fr.Len() != 0 {
+		t.Fatal("nil flight recorded something")
+	}
+	if fr.Shard(0) != nil {
+		t.Fatal("nil recorder returned a shard")
+	}
+	var buf bytes.Buffer
+	if err := fr.WriteTrace(&buf, "nil"); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("nil recorder trace is not valid JSON")
+	}
+}

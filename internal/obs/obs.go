@@ -27,17 +27,44 @@ type Clock interface {
 type Observer struct {
 	tracer  *Tracer
 	metrics *Metrics
-	prefix  string
+	// Sharded instruments (PR 7): unlike the tracer and the metrics
+	// registry these are safe under the parallel simulation kernel —
+	// each shard/partition is only touched by its owning domain thread
+	// and merges deterministically at report time.
+	critpath *CritPath
+	heat     *Heat
+	flight   *FlightRecorder
+	prefix   string
 }
 
 // New returns an observer over the given tracer and metrics registry,
 // either of which may be nil. It returns nil when both are nil, so the
 // disabled case stays a nil pointer all the way down.
 func New(t *Tracer, m *Metrics) *Observer {
-	if t == nil && m == nil {
+	return NewFull(t, m, nil, nil, nil)
+}
+
+// NewFull returns an observer over any combination of instruments; nil
+// members stay on their zero-cost disabled paths. It returns nil when
+// every instrument is nil.
+func NewFull(t *Tracer, m *Metrics, cp *CritPath, h *Heat, fr *FlightRecorder) *Observer {
+	if t == nil && m == nil && cp == nil && h == nil && fr == nil {
 		return nil
 	}
-	return &Observer{tracer: t, metrics: m}
+	return &Observer{tracer: t, metrics: m, critpath: cp, heat: h, flight: fr}
+}
+
+// WithFlight returns an observer like o but carrying fr (o itself is
+// not modified; o may be nil). Harnesses that keep the flight recorder
+// always armed use this to graft it onto whatever observer the caller
+// supplied.
+func WithFlight(o *Observer, fr *FlightRecorder) *Observer {
+	if o == nil {
+		return NewFull(nil, nil, nil, nil, fr)
+	}
+	c := *o
+	c.flight = fr
+	return &c
 }
 
 // Tracer returns the underlying tracer (nil when disabled).
@@ -57,12 +84,81 @@ func (o *Observer) Metrics() *Metrics {
 }
 
 // Scope returns a view of the observer whose track process names and
-// metric names are prefixed with name + "/". Scopes nest.
+// metric names are prefixed with name + "/". Scopes nest. The sharded
+// instruments are identity-keyed (domain/partition indices, request
+// ids), so they pass through unprefixed.
 func (o *Observer) Scope(name string) *Observer {
 	if o == nil {
 		return nil
 	}
-	return &Observer{tracer: o.tracer, metrics: o.metrics, prefix: o.prefix + name + "/"}
+	c := *o
+	c.prefix = o.prefix + name + "/"
+	return &c
+}
+
+// Sharded returns a view of the observer carrying only the
+// domain-sharded instruments (critical path, heat, flight recorder),
+// with the tracer and metrics registry stripped. Multi-domain harnesses
+// hand this view to components on other domains: the tracer and the
+// registry are single-domain structures, while every sharded instrument
+// is touched only by its owning domain thread. Returns nil when no
+// sharded instrument is present.
+func (o *Observer) Sharded() *Observer {
+	if o == nil {
+		return nil
+	}
+	return NewFull(nil, nil, o.critpath, o.heat, o.flight)
+}
+
+// CritPath returns the critical-path engine (nil when disabled).
+func (o *Observer) CritPath() *CritPath {
+	if o == nil {
+		return nil
+	}
+	return o.critpath
+}
+
+// CritPathShard returns the critical-path shard for a simulation
+// domain (nil when disabled). Resolve at wiring time.
+func (o *Observer) CritPathShard(domain int) *CPShard {
+	if o == nil {
+		return nil
+	}
+	return o.critpath.Shard(domain)
+}
+
+// Heat returns the partition-heat collector (nil when disabled).
+func (o *Observer) Heat() *Heat {
+	if o == nil {
+		return nil
+	}
+	return o.heat
+}
+
+// HeatPartition returns partition i's heat collector (nil when
+// disabled). Resolve at wiring time.
+func (o *Observer) HeatPartition(i int) *PartitionHeat {
+	if o == nil {
+		return nil
+	}
+	return o.heat.Partition(i)
+}
+
+// Flight returns the flight recorder (nil when disabled).
+func (o *Observer) Flight() *FlightRecorder {
+	if o == nil {
+		return nil
+	}
+	return o.flight
+}
+
+// FlightShard returns the flight ring for a simulation domain (nil
+// when disabled). Resolve at wiring time.
+func (o *Observer) FlightShard(domain int) *FlightShard {
+	if o == nil {
+		return nil
+	}
+	return o.flight.Shard(domain)
 }
 
 // Track registers (or returns) the span track for a (process, thread)

@@ -84,6 +84,16 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 		out = append(out, je)
 	}
 
+	return writeTraceEvents(w, out)
+}
+
+// writeTraceEvents emits the trace_event wrapper with one event per
+// line. Field order and sorted Args keys fix the byte layout.
+func writeTraceEvents(w io.Writer, out []jsonEvent) error {
+	if len(out) == 0 {
+		_, err := io.WriteString(w, `{"displayTimeUnit":"ns","traceEvents":[]}`)
+		return err
+	}
 	if _, err := io.WriteString(w, "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"); err != nil {
 		return err
 	}

@@ -51,6 +51,7 @@ type Checkpointer struct {
 	cBytes     *obs.Counter
 	cRestores  *obs.Counter
 	cRestBytes *obs.Counter
+	flight     *obs.FlightShard
 }
 
 // Disk returns the replica's simulated persistent medium.
@@ -74,6 +75,7 @@ func (c *Checkpointer) observe(o *obs.Observer) {
 	c.cBytes = o.Counter("persist/checkpoint_bytes")
 	c.cRestores = o.Counter("persist/restores")
 	c.cRestBytes = o.Counter("persist/restore_bytes")
+	c.flight = o.FlightShard(0)
 }
 
 // run is the capture loop: one checkpoint attempt per interval.
@@ -188,6 +190,7 @@ func (c *Checkpointer) capture(p *sim.Proc) {
 	c.stats.CheckpointBytes += written
 	c.cCount.Inc()
 	c.cBytes.Add(written)
+	c.flight.Record(p.Now(), obs.FltCheckpoint, uint32(c.rep.NodeID()), snapTmp, written)
 	sp.Arg("bytes", written).Arg("records", records)
 
 	if c.rep.Crashed() {

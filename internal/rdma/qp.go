@@ -125,6 +125,10 @@ func (q *QP) pathErr() error {
 // CompareAndSwap, for crashed targets and partitioned links alike.
 func (q *QP) failVerb(p *sim.Proc) error {
 	p.Sleep(q.cfg.FailureTimeout)
+	// Verb failures are exactly what a post-mortem wants in the flight
+	// ring; this is the error path, so the lookup cost is irrelevant.
+	q.local.fabric.obs.FlightShard(q.sched.Domain()).Record(
+		p.Now(), obs.FltVerbError, uint32(q.local.id), uint64(q.remote.id), 0)
 	return q.pathErr()
 }
 

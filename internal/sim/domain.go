@@ -53,6 +53,10 @@ type Domains struct {
 	// CrossAt then pushes straight into the target queue.
 	sequential bool
 	running    bool
+	// windows counts conservative windows executed by runParallel: each
+	// window ends in one barrier every domain waits at, so this is also
+	// the barrier-synchronization count.
+	windows uint64
 }
 
 // NewDomains creates n coupled schedulers with the given lookahead: the
@@ -104,6 +108,11 @@ func (d *Domains) EventCount() uint64 {
 	}
 	return n
 }
+
+// Windows returns how many conservative windows (= barrier
+// synchronizations) the parallel loop has executed. Zero under the
+// single-domain and sequential-fallback kernels, which have no barrier.
+func (d *Domains) Windows() uint64 { return d.windows }
 
 // LateCrossEvents returns how many cross-domain events violated the
 // lookahead contract and were clamped to their window boundary. Nonzero
@@ -242,6 +251,7 @@ func (d *Domains) runParallel(deadline Time) error {
 		if end > deadline+1 {
 			end = deadline + 1 // never execute past the deadline
 		}
+		d.windows++
 		for i, m := range d.members {
 			m.windowEnd = windowEnd
 			cmds[i] <- end
