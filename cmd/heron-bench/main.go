@@ -14,9 +14,10 @@
 //	heron-bench chaos   [-schedules 5] [-seed 1] [-faults churn] [-flightdir d]
 //	heron-bench reconfig [-scenario split] [-runs 1] [-seed 1]
 //	heron-bench recovery [-seeds 2] [-seed 1]
+//	heron-bench rebalance [-scenario hotshift|flash|skew|scaleout|feedercrash|donorcrash] [-seed 1]
 //	heron-bench openloop [-groups 4] [-replicas 3] [-domains 1] [-clients 100000]
 //	                     [-rate 10] [-arrival poisson|pareto] [-shape steady|diurnal|flash]
-//	                     [-window 20ms] [-seed 1] [-heat out.json] [-flightdir d]
+//	                     [-window 20ms] [-seed 1] [-heat out.json] [-flightdir d] [-rebalance]
 //	heron-bench parallel [-groups 8] [-replicas 3] [-clients 100000] [-window 40ms]
 //	heron-bench all     [-quick]
 //
@@ -84,6 +85,8 @@ func main() {
 		err = runReconfigCmd(args)
 	case "recovery":
 		err = runRecoveryCmd(args)
+	case "rebalance":
+		err = runRebalanceCmd(args)
 	case "openloop":
 		err = runOpenLoopCmd(args)
 	case "parallel":
@@ -102,7 +105,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: heron-bench {fig4|fig5|fig6|fig7|fig8|table1|ablation|workers|fanout|chaos|reconfig|recovery|openloop|parallel|all} [flags] [-json]")
+	fmt.Fprintln(os.Stderr, "usage: heron-bench {fig4|fig5|fig6|fig7|fig8|table1|ablation|workers|fanout|chaos|reconfig|recovery|rebalance|openloop|parallel|all} [flags] [-json]")
 }
 
 // formatter is any experiment result renderable as a text table.
@@ -497,6 +500,32 @@ func runRecoveryCmd(args []string) error {
 	return nil
 }
 
+func runRebalanceCmd(args []string) error {
+	fs := flag.NewFlagSet("rebalance", flag.ExitOnError)
+	scenario := fs.String("scenario", "", "bench scenario (hotshift, flash) or verify scenario (skew, scaleout, feedercrash, donorcrash); empty = run all")
+	seed := fs.Int64("seed", 1, "workload seed")
+	asJSON := fs.Bool("json", false, "emit machine-readable JSON (byte-identical across replays)")
+	oo := addObsFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	o := oo.observer()
+	res, err := bench.RunRebalanceSweep(*scenario, *seed, o)
+	if err != nil {
+		return err
+	}
+	if err := oo.finish(o); err != nil {
+		return err
+	}
+	if err := emit(res, *asJSON); err != nil {
+		return err
+	}
+	if !res.Gate() {
+		return fmt.Errorf("rebalancing failed its gate: tails not improved or a history unsafe (see output)")
+	}
+	return nil
+}
+
 func runOpenLoopCmd(args []string) error {
 	fs := flag.NewFlagSet("openloop", flag.ExitOnError)
 	opts := bench.DefaultOpenLoopOptions()
@@ -515,6 +544,7 @@ func runOpenLoopCmd(args []string) error {
 	window := fs.Duration("window", time.Duration(opts.Window), "measurement window of virtual time")
 	fs.Int64Var(&opts.Seed, "seed", opts.Seed, "workload seed")
 	fs.StringVar(&opts.FlightDir, "flightdir", "", "directory for the latency-outlier flight dump (max > 8x p99.9)")
+	fs.BoolVar(&opts.Rebalance, "rebalance", false, "replay the heat series through the shadow rebalance planner (advisory decisions in the result)")
 	heatPath := fs.String("heat", "", "write the per-partition heat telemetry report to this JSON file (table printed to stderr)")
 	asJSON := fs.Bool("json", false, "emit machine-readable JSON (byte-identical across replays)")
 	oo := addObsFlags(fs)

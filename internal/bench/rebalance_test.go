@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"heron/internal/sim"
+)
+
+// smallRebalance shrinks the default pair so two deployments (off + on)
+// fit in a unit-test budget.
+func smallRebalance(scenario string) RebalanceOptions {
+	o := DefaultRebalanceOptions(scenario, 1)
+	o.Clients = 24
+	o.Window = 24 * sim.Millisecond
+	o.ShiftAt = 10 * sim.Millisecond
+	o.Interval = 2 * sim.Millisecond
+	return o
+}
+
+// TestRunRebalanceHotShift: the controller-on run commits changes and
+// ends the window with a better tail than the frozen layout.
+func TestRunRebalanceHotShift(t *testing.T) {
+	res, err := RunRebalance(smallRebalance(BenchHotShift))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Off.ChangesApplied != 0 || len(res.Off.Decisions) != 0 {
+		t.Fatalf("off run rebalanced: %+v", res.Off)
+	}
+	if res.On.ChangesApplied == 0 {
+		t.Fatalf("controller applied nothing: %+v", res.On)
+	}
+	if len(res.On.Errors) > 0 {
+		t.Fatalf("controller errors: %v", res.On.Errors)
+	}
+	if res.On.EpochAfter != 1+uint64(res.On.ChangesApplied)+uint64(res.On.ChangesAborted) {
+		t.Fatalf("epoch %d after %d commits + %d aborts", res.On.EpochAfter,
+			res.On.ChangesApplied, res.On.ChangesAborted)
+	}
+	if !res.Improved {
+		t.Fatalf("no tail improvement: off tail p99 %d, on tail p99 %d",
+			res.Off.TailP99NS, res.On.TailP99NS)
+	}
+	if res.On.Mig.BulkObjects == 0 {
+		t.Fatalf("changes committed but nothing migrated: %+v", res.On.Mig)
+	}
+}
+
+// TestRunRebalanceFlash: the flash crowd is shed too.
+func TestRunRebalanceFlash(t *testing.T) {
+	res, err := RunRebalance(smallRebalance(BenchFlash))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.On.ChangesApplied == 0 {
+		t.Fatalf("controller applied nothing: %+v", res.On)
+	}
+	if !res.Improved {
+		t.Fatalf("no tail improvement: off tail p99 %d, on tail p99 %d",
+			res.Off.TailP99NS, res.On.TailP99NS)
+	}
+}
+
+// TestRunRebalanceDeterminism: same seed, byte-identical JSON.
+func TestRunRebalanceDeterminism(t *testing.T) {
+	mk := func() []byte {
+		o := smallRebalance(BenchHotShift)
+		o.Seed = 7
+		res, err := RunRebalance(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	if a, b := mk(), mk(); !bytes.Equal(a, b) {
+		t.Fatalf("same-seed results differ:\n%s\n%s", a, b)
+	}
+}
+
+// TestOpenLoopShadowRebalance: with the flag on and a skewed keyspace,
+// the advisory planner reports acting decisions; with it off the result
+// serializes without the field at all.
+func TestOpenLoopShadowRebalance(t *testing.T) {
+	opts := smallOpenLoop()
+	opts.Rebalance = true
+	// Steep Zipf concentrates the mass on key 0, so group 0 runs hot.
+	opts.ZipfS = 2.5
+	res, err := RunOpenLoop(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RebalancePlan) == 0 {
+		t.Fatal("shadow planner issued no advisory decisions on a skewed workload")
+	}
+	for _, d := range res.RebalancePlan {
+		if d.Hot != 0 {
+			t.Fatalf("hot partition %d, want the zipf head's group 0: %v", d.Hot, d)
+		}
+	}
+
+	opts.Rebalance = false
+	off, err := RunOpenLoop(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(b, []byte("RebalancePlan")) {
+		t.Fatalf("off path serialized the shadow field: %s", b)
+	}
+}
+
+// TestOpenLoopShadowDeterminism: the advisory plan replays byte-for-byte.
+func TestOpenLoopShadowDeterminism(t *testing.T) {
+	mk := func() []byte {
+		opts := smallOpenLoop()
+		opts.Rebalance = true
+		opts.ZipfS = 2.5
+		opts.Seed = 5
+		res, err := RunOpenLoop(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	if a, b := mk(), mk(); !bytes.Equal(a, b) {
+		t.Fatalf("same-seed shadow plans differ:\n%s\n%s", a, b)
+	}
+}

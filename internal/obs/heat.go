@@ -57,10 +57,16 @@ type PartitionHeat struct {
 	total uint64 // executed across all intervals
 
 	// Space-saving sketch state: entries plus a key index. k is small,
-	// so min-replacement is a linear scan.
-	k       int
-	entries []KeyCount
-	keyIdx  map[uint64]int
+	// so min-replacement is a linear scan. Counts halve every
+	// decayWindows cadence intervals (zeroed entries are evicted), so a
+	// key that stops being touched ages out of the sketch instead of
+	// shadowing the current hotspot forever: the rebalancer must never
+	// split at a boundary a past flash crowd picked.
+	k            int
+	entries      []KeyCount
+	keyIdx       map[uint64]int
+	decayWindows int
+	decayCtr     int
 }
 
 // roll cuts samples for every cadence boundary passed by now.
@@ -78,6 +84,36 @@ func (ph *PartitionHeat) roll(now sim.Time) {
 		ph.samples = append(ph.samples, s)
 		ph.executed, ph.latSum, ph.latMax, ph.latCount, ph.queueMax = 0, 0, 0, 0, 0
 		ph.nextTick += sim.Time(ph.cadence)
+		ph.decaySketch()
+	}
+}
+
+// decaySketch ages the sketch by one cadence window: every decayWindows
+// windows all counts (and error bounds) halve and entries that reach zero
+// are evicted, preserving slot order so replacement stays deterministic.
+func (ph *PartitionHeat) decaySketch() {
+	if ph.decayWindows <= 0 || len(ph.entries) == 0 {
+		return
+	}
+	ph.decayCtr++
+	if ph.decayCtr < ph.decayWindows {
+		return
+	}
+	ph.decayCtr = 0
+	kept := ph.entries[:0]
+	for _, e := range ph.entries {
+		e.Count /= 2
+		e.Err /= 2
+		if e.Count > 0 {
+			kept = append(kept, e)
+		}
+	}
+	ph.entries = kept
+	for key := range ph.keyIdx {
+		delete(ph.keyIdx, key)
+	}
+	for i, e := range ph.entries {
+		ph.keyIdx[e.Key] = i
 	}
 }
 
@@ -167,9 +203,15 @@ type Heat struct {
 	parts   []*PartitionHeat
 }
 
+// DefaultSketchDecayWindows is the default sketch half-life in cadence
+// windows: counts halve every this many intervals, so a key untouched for
+// a few half-lives drops out of the sketch entirely.
+const DefaultSketchDecayWindows = 4
+
 // NewHeat creates a heat collector with the given sampling cadence and
 // sketch width. Partitions are materialized by Partition; resolve them
-// at deployment wiring time, before domain threads start.
+// at deployment wiring time, before domain threads start. The hot-key
+// sketch decays with DefaultSketchDecayWindows; tune with SetSketchDecay.
 func NewHeat(partitions int, cadence sim.Duration, topK int) *Heat {
 	if partitions < 1 {
 		partitions = 1
@@ -183,13 +225,25 @@ func NewHeat(partitions int, cadence sim.Duration, topK int) *Heat {
 	h := &Heat{cadence: cadence, topK: topK, parts: make([]*PartitionHeat, partitions)}
 	for i := range h.parts {
 		h.parts[i] = &PartitionHeat{
-			cadence:  cadence,
-			nextTick: sim.Time(cadence),
-			k:        topK,
-			keyIdx:   make(map[uint64]int, topK),
+			cadence:      cadence,
+			nextTick:     sim.Time(cadence),
+			k:            topK,
+			keyIdx:       make(map[uint64]int, topK),
+			decayWindows: DefaultSketchDecayWindows,
 		}
 	}
 	return h
+}
+
+// SetSketchDecay sets the sketch half-life in cadence windows on every
+// partition (0 disables decay entirely). Call before recording starts.
+func (h *Heat) SetSketchDecay(windows int) {
+	if h == nil {
+		return
+	}
+	for _, ph := range h.parts {
+		ph.decayWindows = windows
+	}
 }
 
 // Partition returns partition i's collector (clamped into range;
@@ -240,6 +294,48 @@ func (h *Heat) Report(end sim.Time) *HeatReport {
 		}
 		if last >= 0 {
 			pr.Samples = append(pr.Samples, ph.samples[:last+1]...)
+		}
+		r.Partitions = append(r.Partitions, pr)
+	}
+	return r
+}
+
+// HeatSub is an incremental subscription over a Heat collector: each Poll
+// returns only the cadence samples cut since the previous Poll, plus the
+// current (decayed) hot-key sketch. It is the feed a policy loop consumes
+// on its own cadence — pull-based, so the collector needs no timers and
+// the consumer decides the decision tick. Single-domain consumers only:
+// Poll touches every partition, so under the parallel kernel it may only
+// run before domain threads start or after they join.
+type HeatSub struct {
+	h      *Heat
+	cursor []int // per partition: samples already delivered
+}
+
+// Subscribe returns a new incremental subscription (nil-safe). Multiple
+// subscriptions are independent: each keeps its own cursor.
+func (h *Heat) Subscribe() *HeatSub {
+	if h == nil {
+		return nil
+	}
+	return &HeatSub{h: h, cursor: make([]int, len(h.parts))}
+}
+
+// Poll rolls every partition up to now and returns the samples cut since
+// the previous Poll, in partition index order. The report's TopKeys carry
+// the sketch as of now. Nil-safe: a nil subscription returns an empty
+// report.
+func (s *HeatSub) Poll(now sim.Time) *HeatReport {
+	if s == nil {
+		return &HeatReport{}
+	}
+	r := &HeatReport{CadenceNS: int64(s.h.cadence)}
+	for i, ph := range s.h.parts {
+		ph.roll(now)
+		pr := PartitionHeatReport{Partition: i, Executed: ph.total, TopKeys: ph.TopKeys()}
+		if n := len(ph.samples); n > s.cursor[i] {
+			pr.Samples = append(pr.Samples, ph.samples[s.cursor[i]:n]...)
+			s.cursor[i] = n
 		}
 		r.Partitions = append(r.Partitions, pr)
 	}

@@ -82,6 +82,95 @@ func TestHeatReportDeterminism(t *testing.T) {
 	}
 }
 
+// TestHeatSketchDecay: a hot key from a past burst ages out of the sketch
+// once it stops being touched — counts halve every decayWindows cadence
+// intervals and zeroed entries are evicted — so a stale flash crowd can
+// never out-score the current hotspot.
+func TestHeatSketchDecay(t *testing.T) {
+	h := NewHeat(1, 100, 2) // cadence 100ns, default decay: halve every 4 windows
+	ph := h.Partition(0)
+	for i := 0; i < 10; i++ {
+		ph.Touch(1) // the "flash crowd" key
+	}
+	// 8 idle windows pass (two half-lives): 10 -> 5 -> 2.
+	ph.RecordQueue(850, 0)
+	top := ph.TopKeys()
+	if len(top) != 1 || top[0].Key != 1 || top[0].Count != 2 {
+		t.Fatalf("after two half-lives: %+v, want key 1 count 2", top)
+	}
+	// Two more half-lives: 2 -> 1 -> 0, evicted.
+	ph.RecordQueue(1650, 0)
+	if top := ph.TopKeys(); len(top) != 0 {
+		t.Fatalf("stale key survived decay: %+v", top)
+	}
+	// The current hotspot now owns the sketch with no inherited error.
+	ph.Touch(9)
+	ph.Touch(9)
+	top = ph.TopKeys()
+	if len(top) != 1 || top[0].Key != 9 || top[0].Count != 2 || top[0].Err != 0 {
+		t.Fatalf("fresh hotspot = %+v, want key 9 count 2 err 0", top)
+	}
+}
+
+// TestHeatSketchDecayDisabled: SetSketchDecay(0) restores the undecayed
+// sketch for consumers that want all-time totals.
+func TestHeatSketchDecayDisabled(t *testing.T) {
+	h := NewHeat(1, 100, 2)
+	h.SetSketchDecay(0)
+	ph := h.Partition(0)
+	for i := 0; i < 10; i++ {
+		ph.Touch(1)
+	}
+	ph.RecordQueue(10_000, 0) // 100 idle windows
+	top := ph.TopKeys()
+	if len(top) != 1 || top[0].Count != 10 {
+		t.Fatalf("decay disabled but counts changed: %+v", top)
+	}
+}
+
+// TestHeatSubscribePoll: an incremental subscription returns each cadence
+// sample exactly once, and two subscriptions keep independent cursors.
+func TestHeatSubscribePoll(t *testing.T) {
+	h := NewHeat(2, 100, 2)
+	a, b := h.Subscribe(), h.Subscribe()
+	h.Partition(0).RecordExec(10, 40)
+	h.Partition(1).RecordExec(20, 80)
+
+	r := a.Poll(100) // cuts interval [0,100) on both partitions
+	if len(r.Partitions) != 2 {
+		t.Fatalf("partitions = %d, want 2", len(r.Partitions))
+	}
+	if n := len(r.Partitions[0].Samples); n != 1 {
+		t.Fatalf("first poll p0 samples = %d, want 1", n)
+	}
+	if got := r.Partitions[1].Samples[0].Executed; got != 1 {
+		t.Fatalf("first poll p1 executed = %d, want 1", got)
+	}
+
+	h.Partition(0).RecordExec(150, 60)
+	r = a.Poll(200) // only the new interval [100,200)
+	if n := len(r.Partitions[0].Samples); n != 1 {
+		t.Fatalf("second poll p0 samples = %d, want 1 (incremental)", n)
+	}
+	if r.Partitions[0].Samples[0].AtNS != 100 {
+		t.Fatalf("second poll p0 sample at %d, want 100", r.Partitions[0].Samples[0].AtNS)
+	}
+	if n := len(a.Poll(200).Partitions[0].Samples); n != 0 {
+		t.Fatalf("re-poll returned %d samples, want 0", n)
+	}
+
+	// The second subscription still sees everything from the start.
+	r = b.Poll(200)
+	if n := len(r.Partitions[0].Samples); n != 2 {
+		t.Fatalf("independent sub p0 samples = %d, want 2", n)
+	}
+
+	var nilSub *HeatSub
+	if rep := nilSub.Poll(0); len(rep.Partitions) != 0 {
+		t.Fatal("nil subscription produced partitions")
+	}
+}
+
 // TestHeatNilSafety: nil collectors are no-ops.
 func TestHeatNilSafety(t *testing.T) {
 	var h *Heat

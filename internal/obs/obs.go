@@ -67,6 +67,19 @@ func WithFlight(o *Observer, fr *FlightRecorder) *Observer {
 	return &c
 }
 
+// WithHeat returns an observer like o but carrying h (o itself is not
+// modified; o may be nil). Harnesses that need the heat feed armed —
+// e.g. the open-loop engine's shadow rebalance planner — graft it onto
+// whatever observer the caller supplied.
+func WithHeat(o *Observer, h *Heat) *Observer {
+	if o == nil {
+		return NewFull(nil, nil, nil, h, nil)
+	}
+	c := *o
+	c.heat = h
+	return &c
+}
+
 // Tracer returns the underlying tracer (nil when disabled).
 func (o *Observer) Tracer() *Tracer {
 	if o == nil {

@@ -265,6 +265,63 @@ func applyMove(routes []Range, mv Move) []Range {
 	return out
 }
 
+// --- Programmatic change synthesis --------------------------------------
+//
+// Helpers a policy loop uses to turn "partition p is hot, shed everything
+// at or above key b" into a valid Change without re-deriving the routing
+// table's invariants (moves must cover fully-routed ranges only).
+
+// RangesOf returns the ranges routed to part, sorted by Lo.
+func (c *Configuration) RangesOf(part core.PartitionID) []Range {
+	var out []Range
+	for _, r := range c.Routes {
+		if r.Part == part {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Lo < out[j].Lo })
+	return out
+}
+
+// RoutedObjects returns the number of objects routed to part.
+func (c *Configuration) RoutedObjects(part core.PartitionID) uint64 {
+	var n uint64
+	for _, r := range c.RangesOf(part) {
+		n += uint64(r.Hi-r.Lo) + 1
+	}
+	return n
+}
+
+// SplitMoves builds the moves that reroute the portion of part's routed
+// space at or above `at` to partition `to`: one move per affected routed
+// range, so each move trivially satisfies the fully-routed invariant.
+// Empty when `at` is above everything part routes.
+func (c *Configuration) SplitMoves(part core.PartitionID, at store.OID, to core.PartitionID) []Move {
+	var out []Move
+	for _, r := range c.RangesOf(part) {
+		if r.Hi < at {
+			continue
+		}
+		lo := r.Lo
+		if lo < at {
+			lo = at
+		}
+		out = append(out, Move{Lo: lo, Hi: r.Hi, To: to})
+	}
+	return out
+}
+
+// DrainMoves builds the moves that reroute everything part routes to
+// partition `to` — the merge/scale-in primitive: the drained partition
+// stays a member of the deployment but serves no objects.
+func (c *Configuration) DrainMoves(part, to core.PartitionID) []Move {
+	var out []Move
+	for _, r := range c.RangesOf(part) {
+		out = append(out, Move{Lo: r.Lo, Hi: r.Hi, To: to})
+	}
+	return out
+}
+
 // movedRanges lists the ranges a change migrates, keyed by source
 // partition under the OLD routing, in deterministic (Lo) order.
 func movedRanges(cur *Configuration, ch Change) []Move {

@@ -79,11 +79,38 @@ type Manager struct {
 	seed int64
 	// planned is the most recent Execute's migration plan (for Result).
 	planned []migration
+	// mig accumulates the in-flight change's migration progress; a copy
+	// lands in the Result and the totals in TotalMig.
+	mig MigrationStats
 
 	// Stats (virtual-state only, safe for deterministic reports).
 	Commits int
 	Aborts  int
 	Moved   int
+	// TotalMig accumulates migration cost across every Execute, so sweeps
+	// report bytes moved and freeze time, not just outcomes.
+	TotalMig MigrationStats
+}
+
+// MigrationStats is the cost of one reconfiguration's object migration:
+// how much data the bulk and delta copies moved, how long the sources
+// stayed frozen behind the fence, and how many layout flips committed.
+type MigrationStats struct {
+	BulkObjects  int   `json:"bulk_objects"`
+	BulkBytes    int   `json:"bulk_bytes"`
+	DeltaObjects int   `json:"delta_objects"`
+	DeltaBytes   int   `json:"delta_bytes"`
+	FreezeNS     int64 `json:"freeze_ns"` // first fence -> flip (or abort)
+	Flips        int   `json:"flips"`
+}
+
+func (m *MigrationStats) add(o MigrationStats) {
+	m.BulkObjects += o.BulkObjects
+	m.BulkBytes += o.BulkBytes
+	m.DeltaObjects += o.DeltaObjects
+	m.DeltaBytes += o.DeltaBytes
+	m.FreezeNS += o.FreezeNS
+	m.Flips += o.Flips
 }
 
 // attempt tracks the in-flight change between command submission and its
@@ -94,6 +121,10 @@ type attempt struct {
 	tsSet  bool
 	fenced [][]bool // [part][rank] over the OLD layout
 	counts []int    // fenced replicas per partition
+	// freezeAt is the instant the first replica fenced: migration sources
+	// are frozen from here until the flip (or abort) releases them.
+	freezeAt    sim.Time
+	freezeAtSet bool
 }
 
 // NewManager wires the configuration service onto a deployment: installs
@@ -154,6 +185,10 @@ func (m *Manager) OnConfigCommand(p *sim.Proc, r *core.Replica, req *core.Reques
 			a.ts = req.Ts
 			a.tsSet = true
 		}
+		if !a.freezeAtSet {
+			a.freezeAt = m.d.Sched.Now()
+			a.freezeAtSet = true
+		}
 		m.o.Counter("reconfig/fences").Inc()
 	}
 	m.cond.Broadcast()
@@ -168,7 +203,15 @@ type Result struct {
 	Committed bool
 	Moved     int // objects migrated
 	Fenced    int // replicas fenced before the decision
+	// Mig is this change's migration cost (bytes copied, freeze time),
+	// for decision feedback and experiment tables.
+	Mig MigrationStats
 }
+
+// InFlight reports whether a change is currently between command
+// submission and its verdict — the signal a policy loop checks before
+// synthesizing the next change (at most one may be in flight).
+func (m *Manager) InFlight() bool { return m.attempt != nil }
 
 // Execute drives one reconfiguration end to end:
 //
@@ -198,6 +241,7 @@ func (m *Manager) Execute(p *sim.Proc, ch Change) (*Result, error) {
 		return nil, fmt.Errorf("reconfig: change adds replicas but Options.Apps is nil")
 	}
 	oldParts := len(m.cur.Groups)
+	m.mig = MigrationStats{}
 	plan := m.planMigrations(ch)
 	newStores, err := m.prepareTargets(next, oldParts, plan)
 	if err != nil {
@@ -252,7 +296,19 @@ func (m *Manager) abort(a *attempt) *Result {
 	m.cond.Broadcast()
 	m.Aborts++
 	m.o.Counter("reconfig/aborts").Inc()
-	return &Result{Epoch: m.cur.Epoch, Committed: false, Fenced: a.fencedTotal()}
+	m.finishMig(a)
+	return &Result{Epoch: m.cur.Epoch, Committed: false, Fenced: a.fencedTotal(), Mig: m.mig}
+}
+
+// finishMig closes the in-flight change's migration accounting: the
+// freeze window ends now (flip or abort both release the fence), and the
+// attempt's stats roll into the manager totals and the obs registry.
+func (m *Manager) finishMig(a *attempt) {
+	if a.freezeAtSet {
+		m.mig.FreezeNS = int64(m.d.Sched.Now() - a.freezeAt)
+		m.o.Histogram("reconfig/freeze").Observe(sim.Duration(m.mig.FreezeNS))
+	}
+	m.TotalMig.add(m.mig)
 }
 
 func (a *attempt) fencedTotal() int {
@@ -410,7 +466,10 @@ func (m *Manager) flip(a *attempt, next *Configuration, ch Change, oldParts int,
 
 	m.Commits++
 	m.o.Counter("reconfig/commits").Inc()
-	return &Result{Epoch: next.Epoch, Committed: true, Moved: len(m.planned), Fenced: a.fencedTotal()}
+	m.mig.Flips = 1
+	m.o.Counter("reconfig/flips").Inc()
+	m.finishMig(a)
+	return &Result{Epoch: next.Epoch, Committed: true, Moved: len(m.planned), Fenced: a.fencedTotal(), Mig: m.mig}
 }
 
 // --- Migration ----------------------------------------------------------
@@ -525,7 +584,7 @@ func (m *Manager) bulkCopy(p *sim.Proc, plan []migration, oldParts int,
 		if err != nil {
 			return err
 		}
-		m.writeTargets(p, mg, oldParts, newStores, raw)
+		m.writeTargets(p, mg, oldParts, newStores, raw, false)
 	}
 	return nil
 }
@@ -568,7 +627,7 @@ func (m *Manager) deltaCopy(p *sim.Proc, plan []migration, oldParts int,
 					ok = false
 					break
 				}
-				m.writeTargets(p, mg, oldParts, newStores, raw)
+				m.writeTargets(p, mg, oldParts, newStores, raw, true)
 			}
 			if ok {
 				copied = true
@@ -584,19 +643,33 @@ func (m *Manager) deltaCopy(p *sim.Proc, plan []migration, oldParts int,
 
 // writeTargets writes one slot image to every target replica's store. A
 // failed write to a crashed target is dropped: that replica resynchronizes
-// through state transfer if it ever returns.
+// through state transfer if it ever returns. delta marks catch-up copies
+// made from a frozen source (after the fence), as opposed to bulk copies
+// made while traffic still ran.
 func (m *Manager) writeTargets(p *sim.Proc, mg migration, oldParts int,
-	newStores map[core.PartitionID][]*store.Store, raw []byte) {
+	newStores map[core.PartitionID][]*store.Store, raw []byte, delta bool) {
 	m.Moved++
 	m.o.Counter("reconfig/objects_moved").Inc()
+	targets := 0
 	if int(mg.dst) >= oldParts {
 		for _, st := range newStores[mg.dst] {
 			_ = m.writeSlot(p, st, mg.oid, raw)
+			targets++
 		}
-		return
+	} else {
+		for _, rep := range m.d.Replicas[mg.dst] {
+			_ = m.writeSlot(p, rep.Store(), mg.oid, raw)
+			targets++
+		}
 	}
-	for _, rep := range m.d.Replicas[mg.dst] {
-		_ = m.writeSlot(p, rep.Store(), mg.oid, raw)
+	if delta {
+		m.mig.DeltaObjects++
+		m.mig.DeltaBytes += len(raw) * targets
+		m.o.Counter("reconfig/delta_copy_bytes").Add(uint64(len(raw) * targets))
+	} else {
+		m.mig.BulkObjects++
+		m.mig.BulkBytes += len(raw) * targets
+		m.o.Counter("reconfig/bulk_copy_bytes").Add(uint64(len(raw) * targets))
 	}
 }
 
