@@ -15,9 +15,11 @@
 //	heron-bench reconfig [-scenario split] [-runs 1] [-seed 1]
 //	heron-bench recovery [-seeds 2] [-seed 1]
 //	heron-bench rebalance [-scenario hotshift|flash|skew|scaleout|feedercrash|donorcrash] [-seed 1]
+//	heron-bench lease   [-partitions 2] [-replicas 3] [-clients 24] [-readpct 95] [-window 20ms] [-seed 1]
 //	heron-bench openloop [-groups 4] [-replicas 3] [-domains 1] [-clients 100000]
 //	                     [-rate 10] [-arrival poisson|pareto] [-shape steady|diurnal|flash]
-//	                     [-window 20ms] [-seed 1] [-heat out.json] [-flightdir d] [-rebalance]
+//	                     [-mix update|ycsb-b|ycsb-c] [-window 20ms] [-seed 1]
+//	                     [-heat out.json] [-flightdir d] [-rebalance]
 //	heron-bench parallel [-groups 8] [-replicas 3] [-clients 100000] [-window 40ms]
 //	heron-bench all     [-quick]
 //
@@ -87,6 +89,8 @@ func main() {
 		err = runRecoveryCmd(args)
 	case "rebalance":
 		err = runRebalanceCmd(args)
+	case "lease":
+		err = runLeaseCmd(args)
 	case "openloop":
 		err = runOpenLoopCmd(args)
 	case "parallel":
@@ -105,7 +109,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: heron-bench {fig4|fig5|fig6|fig7|fig8|table1|ablation|workers|fanout|chaos|reconfig|recovery|rebalance|openloop|parallel|all} [flags] [-json]")
+	fmt.Fprintln(os.Stderr, "usage: heron-bench {fig4|fig5|fig6|fig7|fig8|table1|ablation|workers|fanout|chaos|reconfig|recovery|rebalance|lease|openloop|parallel|all} [flags] [-json]")
 }
 
 // formatter is any experiment result renderable as a text table.
@@ -526,6 +530,41 @@ func runRebalanceCmd(args []string) error {
 	return nil
 }
 
+func runLeaseCmd(args []string) error {
+	fs := flag.NewFlagSet("lease", flag.ExitOnError)
+	opts := bench.DefaultLeaseBenchOptions(1)
+	fs.IntVar(&opts.Partitions, "partitions", opts.Partitions, "partitions")
+	fs.IntVar(&opts.Replicas, "replicas", opts.Replicas, "replicas per partition")
+	fs.IntVar(&opts.Keys, "keys", opts.Keys, "keys per partition")
+	fs.IntVar(&opts.Clients, "clients", opts.Clients, "closed-loop clients")
+	fs.IntVar(&opts.ReadPct, "readpct", opts.ReadPct, "read share of the mix in percent")
+	window := fs.Duration("window", time.Duration(opts.Window), "measurement window of virtual time")
+	fs.Int64Var(&opts.Seed, "seed", opts.Seed, "workload seed")
+	asJSON := fs.Bool("json", false, "emit machine-readable JSON (byte-identical across replays)")
+	oo := addObsFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts.Window = sim.Duration(*window)
+	o := oo.observer()
+	opts.Obs = o
+	res, err := bench.RunLeaseBench(opts)
+	if err != nil {
+		return err
+	}
+	if err := oo.finish(o); err != nil {
+		return err
+	}
+	if err := emit(res, *asJSON); err != nil {
+		return err
+	}
+	if !res.Gate() {
+		return fmt.Errorf("lease fast path failed its gate: %.2fx speedup (floor %.1fx) or fallback-dominated reads (see output)",
+			res.Speedup, bench.LeaseGateSpeedup)
+	}
+	return nil
+}
+
 func runOpenLoopCmd(args []string) error {
 	fs := flag.NewFlagSet("openloop", flag.ExitOnError)
 	opts := bench.DefaultOpenLoopOptions()
@@ -540,6 +579,7 @@ func runOpenLoopCmd(args []string) error {
 	fs.Float64Var(&opts.ZipfS, "zipf", opts.ZipfS, "zipf skew of key popularity (>1)")
 	fs.StringVar(&opts.Arrival, "arrival", opts.Arrival, "interarrival law: poisson or pareto")
 	fs.StringVar(&opts.Shape, "shape", opts.Shape, "rate shape: steady, diurnal, or flash")
+	fs.StringVar(&opts.Mix, "mix", opts.Mix, "operation mix: update (default), ycsb-b (95/5 reads), ycsb-c (read-only)")
 	warmup := fs.Duration("warmup", time.Duration(opts.Warmup), "warmup of virtual time")
 	window := fs.Duration("window", time.Duration(opts.Window), "measurement window of virtual time")
 	fs.Int64Var(&opts.Seed, "seed", opts.Seed, "workload seed")

@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+
+	"heron/internal/sim"
+)
+
+// smallLeaseBench shrinks the default pair for unit-test wall clock.
+func smallLeaseBench() LeaseBenchOptions {
+	o := DefaultLeaseBenchOptions(1)
+	o.Window = 8 * sim.Millisecond
+	return o
+}
+
+// TestLeaseBenchGate: the read-skewed pair serves most on-run reads
+// locally and clears the acceptance speedup over the ordered path.
+func TestLeaseBenchGate(t *testing.T) {
+	res, err := RunLeaseBench(smallLeaseBench())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Off.Reads == 0 || res.Off.LocalReads != 0 {
+		t.Fatalf("off run implausible: %+v", res.Off)
+	}
+	if res.On.LocalReads == 0 || res.On.Grants == 0 {
+		t.Fatalf("on run never used the fast path: %+v", res.On)
+	}
+	if !res.Gate() {
+		t.Fatalf("gate failed: speedup %.2fx (off %dns / on %dns), local=%d fallback=%d",
+			res.Speedup, res.Off.ReadMeanNS, res.On.ReadMeanNS,
+			res.On.LocalReads, res.On.FallbackReads)
+	}
+}
+
+// TestLeaseBenchDeterminism: identical options serialize to
+// byte-identical JSON across runs — the -json replay bar.
+func TestLeaseBenchDeterminism(t *testing.T) {
+	opts := smallLeaseBench()
+	run := func() []byte {
+		res, err := RunLeaseBench(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := run(), run()
+	if string(a) != string(b) {
+		t.Fatalf("lease bench replays diverged:\n%s\n%s", a, b)
+	}
+}

@@ -53,6 +53,13 @@ type OpenLoopOptions struct {
 	// MultiGroupPct is the percentage of submissions addressed to two
 	// groups (home plus one other).
 	MultiGroupPct int
+	// Mix selects the operation mix: "" or "update" keeps every
+	// submission an update (the historical behavior), "ycsb-b" is the
+	// read-skewed 95/5 read/update mix, "ycsb-c" is read-only. Reads are
+	// single-object and therefore always single-group; only updates can
+	// be multi-group. The op kind rides the measurement header, so sinks
+	// attribute reads and updates separately.
+	Mix string
 	// Arrival is the interarrival law of the aggregate process per pump:
 	// "poisson" (exponential) or "pareto" (heavy-tailed, alpha=1.5,
 	// bursty).
@@ -115,8 +122,14 @@ type OpenLoopResult struct {
 	OfferedRate               float64 // aggregate msgs/sec
 	Arrival, Shape            string
 
+	// Mix echoes the operation mix; Reads/Updates split Delivered by op
+	// kind (both zero split on the historical update-only mix).
+	Mix string `json:",omitempty"`
+
 	Submitted  int    // arrivals generated inside the window
 	Delivered  int    // window submissions delivered at their home group
+	Reads      int    `json:",omitempty"` // delivered read operations
+	Updates    int    `json:",omitempty"` // delivered update operations
 	Backlogged int    // arrivals still queued in pumps at the horizon
 	MaxBacklog int    // peak pump queue length (open-loop overload signal)
 	Events     uint64 // simulation events executed
@@ -151,6 +164,7 @@ type arrival struct {
 	client uint32
 	key    uint64
 	dual   bool // multicast to two groups
+	read   bool // read operation (mix-dependent; never dual)
 }
 
 // openPump is one submission pump: a client node plus its arrival queue.
@@ -184,6 +198,20 @@ func (pu *openPump) interarrival() sim.Time {
 		return sim.Time(g) + 1
 	default: // poisson
 		return sim.Time(pu.rng.ExpFloat64()*mean) + 1
+	}
+}
+
+// mixRead draws whether the next submission is a read under the
+// configured mix. The default update-only mix consumes no randomness, so
+// historical arrival streams stay bit-identical.
+func (pu *openPump) mixRead() bool {
+	switch pu.opts.Mix {
+	case "ycsb-b":
+		return pu.rng.Intn(100) < 95
+	case "ycsb-c":
+		return true
+	default:
+		return false
 	}
 }
 
@@ -227,8 +255,9 @@ func (pu *openPump) schedule(s *sim.Scheduler, at sim.Time) {
 				at:     at,
 				client: uint32(pu.rng.Intn(pu.opts.Clients)),
 				key:    pu.zipf.Uint64(),
-				dual:   pu.rng.Intn(100) < pu.opts.MultiGroupPct,
+				read:   pu.mixRead(),
 			}
+			a.dual = !a.read && pu.rng.Intn(100) < pu.opts.MultiGroupPct
 			pu.queue.Send(a)
 			if q := pu.queue.Len(); q > pu.maxQ {
 				pu.maxQ = q
@@ -242,17 +271,22 @@ func (pu *openPump) schedule(s *sim.Scheduler, at sim.Time) {
 }
 
 // openLoopHeader is the measurement header size: submit time [0:8],
-// modeled client [8:12], home group [12:14], key [14:22].
-const openLoopHeader = 22
+// modeled client [8:12], home group [12:14], key [14:22], op kind [22]
+// (0 update, 1 read).
+const openLoopHeader = 23
 
 // encodeOpenLoop packs the measurement header into a payload: submit
-// time, modeled client, home group, and the accessed key (the sink feeds
-// it into the home partition's heat sketch).
-func encodeOpenLoop(buf []byte, at sim.Time, client uint32, home uint16, key uint64) {
+// time, modeled client, home group, the accessed key (the sink feeds it
+// into the home partition's heat sketch), and the op kind.
+func encodeOpenLoop(buf []byte, at sim.Time, client uint32, home uint16, key uint64, read bool) {
 	binary.LittleEndian.PutUint64(buf[0:8], uint64(at))
 	binary.LittleEndian.PutUint32(buf[8:12], client)
 	binary.LittleEndian.PutUint16(buf[12:14], home)
 	binary.LittleEndian.PutUint64(buf[14:22], key)
+	buf[22] = 0
+	if read {
+		buf[22] = 1
+	}
 }
 
 // RunOpenLoop executes one open-loop measurement.
@@ -283,6 +317,11 @@ func RunOpenLoop(opts OpenLoopOptions) (*OpenLoopResult, error) {
 	default:
 		return nil, fmt.Errorf("openloop: unknown shape %q", opts.Shape)
 	}
+	switch opts.Mix {
+	case "", "update", "ycsb-b", "ycsb-c":
+	default:
+		return nil, fmt.Errorf("openloop: unknown mix %q (have update, ycsb-b, ycsb-c)", opts.Mix)
+	}
 
 	dc, err := multicast.NewDomainCluster(opts.Groups, opts.Replicas, opts.Domains, opts.PumpsPerGroup, rdma.DefaultConfig())
 	if err != nil {
@@ -308,6 +347,7 @@ func RunOpenLoop(opts OpenLoopOptions) (*OpenLoopResult, error) {
 		OfferedRate: float64(opts.Clients) * opts.RatePerClient,
 		Arrival:     orDefault(opts.Arrival, "poisson"),
 		Shape:       orDefault(opts.Shape, "steady"),
+		Mix:         opts.Mix,
 	}
 	horizon := sim.Time(opts.Warmup) + sim.Time(opts.Window)
 
@@ -317,6 +357,7 @@ func RunOpenLoop(opts OpenLoopOptions) (*OpenLoopResult, error) {
 	// reason.
 	lats := make([]*LatencyRecorder, opts.Groups)
 	delivered := make([]int, opts.Groups)
+	readsAt := make([]int, opts.Groups)
 	for g := 0; g < opts.Groups; g++ {
 		g := g
 		lats[g] = &LatencyRecorder{}
@@ -339,6 +380,9 @@ func RunOpenLoop(opts OpenLoopOptions) (*OpenLoopResult, error) {
 					continue // counted at its home group, inside the window only
 				}
 				delivered[g]++
+				if d.Payload[22] == 1 {
+					readsAt[g]++
+				}
 				lats[g].Add(sim.Duration(p.Now() - at))
 				id := obs.ReqID{Node: uint64(d.ID.Node), Seq: d.ID.Seq}
 				cp.Mark(id, obs.SegDelivered, p.Now())
@@ -391,7 +435,7 @@ func RunOpenLoop(opts OpenLoopOptions) (*OpenLoopResult, error) {
 						other := (home + 1 + int(a.key>>32)%(opts.Groups-1)) % opts.Groups
 						dst = append(dst, multicast.GroupID(other))
 					}
-					encodeOpenLoop(payload, a.at, a.client, uint16(home), a.key)
+					encodeOpenLoop(payload, a.at, a.client, uint16(home), a.key, a.read)
 					t0 := p.Now()
 					mid := pu.cl.Multicast(p, dst, payload)
 					id := obs.ReqID{Node: uint64(mid.Node), Seq: mid.Seq}
@@ -414,9 +458,13 @@ func RunOpenLoop(opts OpenLoopOptions) (*OpenLoopResult, error) {
 	merged := &LatencyRecorder{}
 	for g := 0; g < opts.Groups; g++ {
 		res.Delivered += delivered[g]
+		res.Reads += readsAt[g]
 		for _, sample := range lats[g].Samples() {
 			merged.Add(sample)
 		}
+	}
+	if opts.Mix == "ycsb-b" || opts.Mix == "ycsb-c" {
+		res.Updates = res.Delivered - res.Reads
 	}
 	for _, pu := range pumps {
 		res.Submitted += pu.gen
@@ -497,6 +545,9 @@ func (r *OpenLoopResult) Format() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Open-loop workload: %d clients @ %.0f msg/s aggregate (%s arrivals, %s shape)\n",
 		r.Clients, r.OfferedRate, r.Arrival, r.Shape)
+	if r.Mix != "" && r.Mix != "update" {
+		fmt.Fprintf(&b, "mix: %s (%d reads / %d updates delivered)\n", r.Mix, r.Reads, r.Updates)
+	}
 	fmt.Fprintf(&b, "topology: %d groups x %d replicas over %d domain(s)\n", r.Groups, r.Replicas, r.Domains)
 	fmt.Fprintf(&b, "%-12s %-12s %-12s %-12s %-12s\n", "submitted", "delivered", "backlog", "max_backlog", "events")
 	fmt.Fprintf(&b, "%-12d %-12d %-12d %-12d %-12d\n", r.Submitted, r.Delivered, r.Backlogged, r.MaxBacklog, r.Events)

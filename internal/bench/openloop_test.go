@@ -86,6 +86,54 @@ func TestOpenLoopMultiDomainDeterminism(t *testing.T) {
 	}
 }
 
+// TestOpenLoopMixes: the YCSB-style mixes split deliveries at the
+// declared read ratio (ycsb-b ~95/5, ycsb-c read-only), keep reads
+// single-group, and replay byte-identically — the read-skewed workload
+// for the lease fast path.
+func TestOpenLoopMixes(t *testing.T) {
+	for _, mix := range []string{"ycsb-b", "ycsb-c"} {
+		opts := smallOpenLoop()
+		opts.Mix = mix
+		res, err := RunOpenLoop(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Delivered == 0 || res.Reads == 0 {
+			t.Fatalf("%s: delivered=%d reads=%d", mix, res.Delivered, res.Reads)
+		}
+		frac := float64(res.Reads) / float64(res.Delivered)
+		switch mix {
+		case "ycsb-b":
+			if frac < 0.90 || frac > 0.99 {
+				t.Fatalf("ycsb-b read fraction %.3f outside [0.90, 0.99]", frac)
+			}
+			if res.Updates == 0 {
+				t.Fatal("ycsb-b delivered no updates")
+			}
+		case "ycsb-c":
+			if frac != 1 || res.Updates != 0 {
+				t.Fatalf("ycsb-c not read-only: %d reads of %d, %d updates",
+					res.Reads, res.Delivered, res.Updates)
+			}
+		}
+		run := func() []byte {
+			r, err := RunOpenLoop(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := json.Marshal(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return b
+		}
+		a, b := run(), run()
+		if string(a) != string(b) {
+			t.Fatalf("%s replays diverged:\n%s\n%s", mix, a, b)
+		}
+	}
+}
+
 // TestOpenLoopShapes: every arrival law and shape combination runs and
 // the shaped streams thin the load below the steady peak.
 func TestOpenLoopShapes(t *testing.T) {

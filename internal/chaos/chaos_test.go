@@ -100,6 +100,53 @@ func TestPartitionsAndSlowNICLinearize(t *testing.T) {
 	}
 }
 
+// TestLeaseCrashLinearizes: the leasecrash profile crashes the lease
+// holder mid-grant and (after the switch) the new holder mid-renewal,
+// while clients mix local-read probes into the workload. At most one
+// replica is down at a time, so every operation must complete and the
+// full history — local reads included — must linearize. The run must
+// actually have exercised the lease path (local hits and both crashes),
+// and the report must replay byte-identically for the same seed.
+func TestLeaseCrashLinearizes(t *testing.T) {
+	for _, seed := range []int64{2, 6, 10} {
+		rep := runProfile(t, "leasecrash", seed)
+		if rep.Err != "" {
+			t.Fatalf("seed %d: %s", seed, rep.Err)
+		}
+		if !rep.Checked || !rep.Linearizable {
+			t.Fatalf("seed %d: history not linearizable (checked=%v): %+v", seed, rep.Checked, rep)
+		}
+		if rep.Crashes != 2 || rep.Recoveries != 2 {
+			t.Fatalf("seed %d: %d crashes, %d recoveries — holder crashes did not fire",
+				seed, rep.Crashes, rep.Recoveries)
+		}
+		if rep.LocalReads == 0 {
+			t.Fatalf("seed %d: no read was served locally — the lease path never engaged", seed)
+		}
+		if rep.LeaseGrants == 0 {
+			t.Fatalf("seed %d: no lease was ever granted", seed)
+		}
+	}
+}
+
+// TestLeaseCrashReportDeterministic: the lease path (probes, fallbacks,
+// holder switches) must not leak nondeterminism into reports — the
+// same-seed replay guarantee extends to leasecrash runs.
+func TestLeaseCrashReportDeterministic(t *testing.T) {
+	enc := func() []byte {
+		rep := runProfile(t, "leasecrash", 7)
+		b, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := enc(), enc()
+	if string(a) != string(b) {
+		t.Fatalf("same seed produced different leasecrash reports:\n%s\n%s", a, b)
+	}
+}
+
 // TestHarnessModelRejectsViolations guards against a vacuous verdict: the
 // exact model the harness submits to the checker must reject fabricated
 // stale-read and lost-update histories. If this fails, every

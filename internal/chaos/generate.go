@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"heron/internal/lease"
 	"heron/internal/sim"
 )
 
@@ -14,7 +15,7 @@ import (
 // topology) triple always yields the same schedule.
 
 // Profiles lists the generator names, in sweep rotation order.
-var Profiles = []string{"churn", "partitions", "slownic", "mixed", "durable"}
+var Profiles = []string{"churn", "partitions", "slownic", "mixed", "durable", "leasecrash"}
 
 // genParams bound the fault window. The active window must overlap the
 // client workload (tens of milliseconds); holds are long enough to span
@@ -62,6 +63,8 @@ func Generate(profile string, seed int64, partitions, replicas int) (Schedule, e
 		sortEvents(sc.Events)
 	case "durable":
 		sc.Events = genDurable(rng, partitions, f)
+	case "leasecrash":
+		sc.Events = genLeaseCrash(rng, partitions, f)
 	case "overload":
 		sc.Events = genOverload(rng, partitions, f)
 	default:
@@ -168,6 +171,44 @@ func genDurable(rng *rand.Rand, partitions, f int) []Event {
 		)
 		t += hold + gapMin + sim.Duration(rng.Int63n(int64(gapSpan)))
 	}
+	return evs
+}
+
+// genLeaseCrash aims crashes at the partition lease holder at the exact
+// virtual instants the lease manager acts (Run auto-attaches the manager
+// for this profile, so its grant loop ticks at lease.DefaultStart +
+// k*lease.DefaultRenew). Round one crashes the initial holder (rank 0 —
+// the manager grants to the lowest live rank) a few microseconds after a
+// grant submission, while the grant command is still being ordered and
+// executed; round two, after rank 0 has recovered and the manager has
+// stickily kept rank 1 as holder, crashes rank 1 exactly at a renewal
+// submission instant. At most one replica is down at any time, so every
+// operation must complete and the history must linearize: reads served
+// locally before a crash, declined during it, and served by the new
+// holder after the switch.
+func genLeaseCrash(rng *rand.Rand, partitions, f int) []Event {
+	if f < 1 {
+		return nil
+	}
+	part := rng.Intn(partitions)
+	grantAt := func(k int64) sim.Duration {
+		return lease.DefaultStart + sim.Duration(k)*lease.DefaultRenew
+	}
+	// First grant tick at or after the fault window opens, mid-grant.
+	k1 := int64((genStart-lease.DefaultStart)/lease.DefaultRenew) + 1 + int64(rng.Intn(3))
+	crash1 := grantAt(k1) + 3*sim.Microsecond
+	hold1 := holdMin + sim.Duration(rng.Int63n(int64(holdSpan)))
+	// A renewal tick safely after rank 0's recovery, mid-renewal.
+	k2 := int64((crash1+hold1-lease.DefaultStart)/lease.DefaultRenew) + 2 + int64(rng.Intn(3))
+	crash2 := grantAt(k2)
+	hold2 := holdMin + sim.Duration(rng.Int63n(int64(holdSpan)))
+	evs := []Event{
+		{At: crash1, Kind: EvCrash, Part: part, Rank: 0},
+		{At: crash1 + hold1, Kind: EvRecover, Part: part, Rank: 0},
+		{At: crash2, Kind: EvCrash, Part: part, Rank: 1},
+		{At: crash2 + hold2, Kind: EvRecover, Part: part, Rank: 1},
+	}
+	sortEvents(evs)
 	return evs
 }
 

@@ -6,12 +6,14 @@ import (
 	"sort"
 
 	"heron/internal/core"
+	"heron/internal/lease"
 	"heron/internal/lincheck"
 	"heron/internal/multicast"
 	"heron/internal/obs"
 	"heron/internal/persist"
 	"heron/internal/rdma"
 	"heron/internal/sim"
+	"heron/internal/store"
 )
 
 // Options configure one chaos run: the deployment topology, the client
@@ -45,6 +47,13 @@ type Options struct {
 	// error (e.g. deadlock). Dump filenames derive from the schedule's
 	// profile and seed, so reports stay deterministic.
 	FlightDir string
+	// Lease, when non-nil, attaches the read-lease manager: a share of
+	// the client operations become single-object reads that probe the
+	// partition's lease holder for a local answer and fall back to the
+	// ordered path on decline. All reads enter the checked history, so a
+	// stale local read fails linearizability. Run enables this
+	// automatically for the "leasecrash" profile.
+	Lease *lease.Options
 }
 
 // DefaultOptions returns a topology and workload sized for the checker:
@@ -95,6 +104,14 @@ type Report struct {
 	FullTransferBytes  uint64 `json:"full_transfer_bytes,omitempty"`
 	RecoveryNS         int64  `json:"recovery_ns,omitempty"`
 	TruncatedEntries   uint64 `json:"truncated_log_entries,omitempty"`
+
+	// Lease metrics (populated when the run attaches a lease manager):
+	// reads answered locally by a holder, reads that fell back to the
+	// ordered path, and grant/revoke commands submitted.
+	LocalReads    uint64 `json:"local_reads,omitempty"`
+	FallbackReads uint64 `json:"fallback_reads,omitempty"`
+	LeaseGrants   uint64 `json:"lease_grants,omitempty"`
+	LeaseRevokes  uint64 `json:"lease_revokes,omitempty"`
 
 	// FlightDumps lists the basenames of flight-recorder traces written
 	// during the run (empty unless Options.FlightDir is set and a trigger
@@ -159,6 +176,24 @@ func Run(opt Options) (*Report, error) {
 		pl.Observe(obsv)
 	}
 	d.Start()
+	// The leasecrash profile is pointless without leases: attach the
+	// manager with default timing (the schedule generator aimed its
+	// crashes at those instants) unless the caller configured it.
+	leaseOpt := opt.Lease
+	if leaseOpt == nil && opt.Schedule.Profile == "leasecrash" {
+		leaseOpt = &lease.Options{}
+	}
+	var mgr *lease.Manager
+	if leaseOpt != nil {
+		lo := *leaseOpt
+		if lo.Until == 0 {
+			// Stop granting once the workload and fault window are long
+			// over, so the grant loop does not tick for the whole horizon.
+			lo.Until = sim.Time(60 * sim.Millisecond)
+		}
+		mgr = lease.Attach(d, lo)
+		mgr.Start()
+	}
 	eng := Install(d, opt.Schedule, obsv)
 
 	rep := &Report{
@@ -181,13 +216,49 @@ func Run(opt Options) (*Report, error) {
 	}
 	eng.OnCrash = func(Event) { dump("crash") }
 	var history []lincheck.Operation
+	var readers []*lease.ReadClient
 	// Client procs run in virtual time: appends never race.
 	for ci := 0; ci < opt.Clients; ci++ {
 		ci := ci
 		cl := d.NewClient()
+		var rc *lease.ReadClient
+		if mgr != nil {
+			rc = lease.NewReadClient(cl, mgr)
+			readers = append(readers, rc)
+		}
 		rng := rand.New(rand.NewSource(opt.Schedule.Seed*1000 + int64(ci)))
 		s.Spawn(fmt.Sprintf("chaos-client%d", ci), func(p *sim.Proc) {
 			for i := 0; i < opt.OpsPerClient; i++ {
+				if rc != nil && rng.Intn(100) < 40 {
+					// Single-object read: probe the lease holder for a
+					// local answer, fall back to the ordered path. Either
+					// way the read joins the checked history.
+					part := core.PartitionID(rng.Intn(opt.Partitions))
+					req := &kvReq{reads: []store.OID{kvOID(part, uint32(rng.Intn(opt.Keys)))}}
+					call := int64(p.Now())
+					var out uint64
+					if val, lok := rc.TryLocal(p, part, req.reads[0]); lok {
+						out = decodeKVVal(val)
+					} else {
+						resp, sok := cl.SubmitTimeout(p, []core.PartitionID{part}, encodeKVReq(req), opt.OpTimeout)
+						if !sok {
+							rep.Ops++
+							rep.FailedOps++
+							continue
+						}
+						out = decodeKVVal(resp[part])
+					}
+					rep.Ops++
+					history = append(history, lincheck.Operation{
+						ClientID: ci,
+						Input:    req,
+						Output:   out,
+						Call:     call,
+						Return:   int64(p.Now()),
+					})
+					p.Sleep(sim.Duration(rng.Intn(300)) * sim.Microsecond)
+					continue
+				}
 				req := &kvReq{add: uint64(rng.Intn(100))}
 				dstSet := map[core.PartitionID]bool{}
 				for j := 0; j < rng.Intn(3); j++ {
@@ -251,6 +322,14 @@ func Run(opt Options) (*Report, error) {
 		ls := pl.Stats()
 		rep.Checkpoints = ls.Checkpoints
 		rep.CheckpointBytes = ls.CheckpointBytes
+	}
+	if mgr != nil {
+		rep.LeaseGrants = mgr.Grants
+		rep.LeaseRevokes = mgr.Revokes
+		for _, rc := range readers {
+			rep.LocalReads += rc.Local
+			rep.FallbackReads += rc.Fallback
+		}
 	}
 	if len(eng.Errors) > 0 {
 		rep.Err = eng.Errors[0]

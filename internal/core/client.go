@@ -20,6 +20,9 @@ type Client struct {
 	node   *rdma.Node
 	ep     *rdma.Endpoint
 	lastID multicast.MsgID
+	// leaseToken numbers this client's local-read probes so stale replies
+	// (and stale ordered responses) are recognized and dropped.
+	leaseToken uint64
 
 	// dropped counts datagrams discarded while waiting for responses
 	// (undecodable, wrong kind, or stale responses to earlier requests).
@@ -83,6 +86,44 @@ func (c *Client) Submit(p *sim.Proc, dst []PartitionID, payload []byte) (map[Par
 	}
 	c.cp.Mark(cpID(id), obs.SegComplete, p.Now())
 	return got, nil
+}
+
+// LeaseRead probes a lease holder for a local single-object read: one
+// control-plane round trip, no multicast. ok=false means the probe was
+// declined (no live lease at that replica, dual-version overrun) or timed
+// out — the caller falls back to the ordered path. A nil value with
+// ok=true is a definitive "object absent".
+func (c *Client) LeaseRead(p *sim.Proc, holder rdma.NodeID, oid uint64, d sim.Duration) ([]byte, bool) {
+	c.leaseToken++
+	token := c.leaseToken
+	if err := c.tr.Send(p, c.node.ID(), holder, encodeLeaseRead(&leaseReadMsg{token: token, oid: oid})); err != nil {
+		return nil, false
+	}
+	deadline := p.Now() + sim.Time(d)
+	for {
+		remaining := sim.Duration(deadline - p.Now())
+		if remaining <= 0 {
+			return nil, false
+		}
+		datagram, _, ok := c.ep.RecvTimeout(p, remaining)
+		if !ok {
+			return nil, false
+		}
+		kind, r, kerr := ctlKind(datagram)
+		if kerr != nil || kind != ctlLeaseReadReply {
+			c.dropped.Inc()
+			continue // stale ordered responses from earlier submissions
+		}
+		m := decodeLeaseReadReply(r)
+		if r.Err() != nil || m.token != token {
+			c.dropped.Inc()
+			continue
+		}
+		if !m.ok {
+			return nil, false
+		}
+		return m.val, true
+	}
 }
 
 // SubmitTimeout is Submit with a deadline; ok=false means the responses

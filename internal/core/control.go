@@ -65,6 +65,7 @@ func (r *Replica) runControl(p *sim.Proc) {
 			p.Sleep(ctlHandlerCPU)
 			r.handleControl(p, msg, from)
 		}
+		r.flushGatedReplies(p)
 		next := r.checkStateTransfers(p, watches)
 		wait := sim.Duration(next - p.Now())
 		if wait <= 0 || wait > 200*sim.Microsecond {
@@ -101,6 +102,12 @@ func (r *Replica) handleControl(p *sim.Proc, datagram []byte, from rdma.NodeID) 
 			reply.entries = append(reply.entries, e)
 		}
 		_ = r.tr.Send(p, r.node.ID(), from, encodeAddrReply(reply))
+	case ctlLeaseRead:
+		m := decodeLeaseRead(rd)
+		if rd.Err() != nil {
+			return
+		}
+		_ = r.tr.Send(p, r.node.ID(), from, r.serveLeaseRead(p, m))
 	case ctlAddrReply:
 		m := decodeAddrReply(rd)
 		if rd.Err() != nil {

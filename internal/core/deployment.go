@@ -106,6 +106,7 @@ func (d *Deployment) wirePeers() {
 				stAddr:    rep.stMem.Addr(0),
 				stageAddr: rep.staging.Addr(0),
 				storeAddr: rep.st.Region().Addr(0),
+				leaseAddr: rep.leaseMem.Addr(0),
 			}
 		}
 	}

@@ -173,11 +173,28 @@ func (r *Replica) interceptReconfig(p *sim.Proc, req *Request, pool *execPool) b
 		if pool != nil {
 			pool.drain(p)
 		}
+		// A configuration change relinquishes any lease this replica holds:
+		// the migration fence has already waited out the lease's absolute
+		// expiry (reconfig's LeaseFencer), this just stops serving early.
+		if r.leaseHolder == r.rank {
+			r.leaseSelfServe = false
+		}
 		var out []byte
 		if r.confHook != nil {
 			out = r.confHook.OnConfigCommand(p, r, req)
 		}
 		r.maybeActivateConfig(req.Ts)
+		if req.Ts > r.lastExec {
+			r.lastExec = req.Ts
+		}
+		r.reply(p, req, out)
+		return true
+	}
+	if IsLeaseCommand(req.Payload) {
+		if pool != nil {
+			pool.drain(p)
+		}
+		out := r.applyLeaseCommand(p, req)
 		if req.Ts > r.lastExec {
 			r.lastExec = req.Ts
 		}

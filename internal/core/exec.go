@@ -73,6 +73,11 @@ func (r *Replica) execute(p *sim.Proc, req *Request, tk *obs.Track) ([]byte, boo
 		p.Sleep(out.CPU)
 	}
 	r.obs.cp.Record(cpID(req.ID), obs.SegAppExecute, appT0, p.Now())
+	if len(out.Writes) == 0 && r.rank == 0 {
+		// A read-only request that still paid the full ordering round —
+		// the traffic a partition lease would serve locally.
+		r.obs.orderedRead.Inc()
+	}
 	wrT0 := p.Now()
 	for _, w := range out.Writes {
 		if r.parter.PartitionOf(w.OID) != r.part {

@@ -39,6 +39,10 @@ type replicaObs struct {
 	stFullBytes    *obs.Counter
 	stDeltaBytes   *obs.Counter
 	stFallbackFull *obs.Counter
+	localRead      *obs.Counter
+	orderedRead    *obs.Counter
+	leaseGrants    *obs.Counter
+	leaseRevokes   *obs.Counter
 
 	// Sharded PR 7 instruments, resolved at wiring time (core
 	// deployments live on one scheduler, so shard/domain 0). cp and
@@ -70,6 +74,10 @@ func (r *Replica) observe(o *obs.Observer, s *sim.Scheduler) {
 		stFullBytes:    o.Counter("core/st_full_bytes"),
 		stDeltaBytes:   o.Counter("core/st_delta_bytes"),
 		stFallbackFull: o.Counter("core/st_fallback_full"),
+		localRead:      o.Counter("core/local_read"),
+		orderedRead:    o.Counter("core/ordered_read"),
+		leaseGrants:    o.Counter("lease/grants"),
+		leaseRevokes:   o.Counter("lease/revokes"),
 		flight:         o.FlightShard(0),
 	}
 	if r.rank == 0 {

@@ -144,11 +144,14 @@ func (r *Replica) runWorker(pl *execPool, idx int, tk *obs.Track) func(p *sim.Pr
 				r.obs.executed.Inc()
 				it.rec.Done = p.Now()
 				r.noteDone(it.req, it.rec)
-				r.reply(p, it.req, resp)
+				r.gatedReply(p, it.req, resp)
 				r.trace(it.req, it.rec)
 			}
 			sp.End()
 			pl.complete(it)
+			if r.leaseSelfServe {
+				r.publishLeaseProgress(p, uint64(r.lastExec))
+			}
 		}
 	}
 }
@@ -222,7 +225,10 @@ func (r *Replica) processSerial(p *sim.Proc, req *Request, rec TraceRecord) {
 		r.obs.executed.Inc()
 		rec.Done = p.Now()
 		r.noteDone(req, rec)
-		r.reply(p, req, resp)
+		if r.leaseSelfServe {
+			r.publishLeaseProgress(p, uint64(req.Ts))
+		}
+		r.gatedReply(p, req, resp)
 		r.trace(req, rec)
 		sp.End()
 		return
@@ -260,7 +266,10 @@ func (r *Replica) processSerial(p *sim.Proc, req *Request, rec TraceRecord) {
 	r.obs.executed.Inc()
 	rec.Done = p.Now()
 	r.noteDone(req, rec)
-	r.reply(p, req, resp)
+	if r.leaseSelfServe {
+		r.publishLeaseProgress(p, uint64(req.Ts))
+	}
+	r.gatedReply(p, req, resp)
 	r.trace(req, rec)
 	sp.End()
 }

@@ -35,6 +35,12 @@ type RecoverySource interface {
 func (r *Replica) rejoin(s *sim.Scheduler, mc *multicast.Process) {
 	r.mc = mc
 	r.recovering = true
+	// A recovered ex-holder must never serve local reads: its store is
+	// about to be rewound below its pre-crash published frontier. Only a
+	// freshly executed grant re-enables serving. Parked replies from the
+	// pre-crash incarnation are dropped with the crash.
+	r.leaseSelfServe = false
+	r.gatedQ = nil
 	r.start(s)
 }
 

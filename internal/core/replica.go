@@ -27,6 +27,7 @@ type peerInfo struct {
 	stAddr    rdma.Addr // base of its state-transfer memory
 	stageAddr rdma.Addr // base of its aux staging region
 	storeAddr rdma.Addr // base of its object region (for state transfer)
+	leaseAddr rdma.Addr // base of its lease-progress memory (lease.go)
 }
 
 // stEntrySize is one state-transfer memory entry: reqTmp, status, rid,
@@ -55,6 +56,9 @@ type Replica struct {
 	stMem *rdma.Region
 	// staging receives auxiliary state during transfer.
 	staging *rdma.Region
+	// leaseMem[q] is the published execution frontier of rank q, written
+	// by a lease holder after each execution (lease.go).
+	leaseMem *rdma.Region
 
 	// peers[h][q] describes replica q of partition h (nil for self).
 	peers [][]peerInfo
@@ -122,6 +126,19 @@ type Replica struct {
 	// of recovery, so only the delta suffix is pulled from peers (see
 	// recovery.go). nil keeps the full-state-transfer path.
 	recoverySrc RecoverySource
+
+	// Partition read-lease state, applied from totally-ordered lease
+	// commands (lease.go). leaseHolder is -1 until a lease is granted;
+	// leaseSelfServe is set only when this replica itself executes a
+	// grant naming it, and cleared on rejoin.
+	leaseHolder    int
+	leaseExpire    sim.Time
+	leaseSeq       uint64
+	leaseSelfServe bool
+	// gatedQ holds replies deferred by the lease gate, flushed by the
+	// control process when the holder's frontier advances or the lease
+	// expires.
+	gatedQ []gatedReplyEntry
 }
 
 type objMapKey struct {
@@ -173,10 +190,12 @@ func newReplica(cfg *Config, tr *rdma.Transport, mc *multicast.Process, part Par
 		objMap:      make(map[objMapKey]objMapEntry),
 		queryCond:   sim.NewCond(tr.Fabric().Scheduler()),
 		obs:         &replicaObs{},
+		leaseHolder: -1,
 	}
 	r.coordMem = node.RegisterRegion(maxParts * maxN * 8)
 	r.stMem = node.RegisterRegion(maxN * stEntrySize)
 	r.staging = node.RegisterRegion(cfg.AuxStagingCap)
+	r.leaseMem = node.RegisterRegion(maxN * 8)
 	return r
 }
 

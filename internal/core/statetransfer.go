@@ -51,14 +51,15 @@ func (r *Replica) applyStagedAux(p *sim.Proc, e stEntry) {
 	if e.auxLen == 0 {
 		return
 	}
-	syncer, ok := r.app.(AuxSyncer)
-	if !ok {
-		return
-	}
 	data := make([]byte, e.auxLen)
 	copy(data, r.staging.Bytes()[:e.auxLen])
 	if r.cfg.DeserializeBytesPerNS > 0 {
 		p.Sleep(sim.Duration(float64(len(data)) / r.cfg.DeserializeBytesPerNS))
+	}
+	data = r.unwrapLeaseAux(data)
+	syncer, ok := r.app.(AuxSyncer)
+	if !ok || len(data) == 0 {
+		return
 	}
 	syncer.ApplyAux(data)
 }
@@ -182,6 +183,10 @@ func (r *Replica) performStateTransfer(p *sim.Proc, laggerRank int, reqTmp uint6
 	if syncer, ok := r.app.(AuxSyncer); ok {
 		aux = syncer.SnapshotAux(auxFrom, rid)
 	}
+	// The lease state always rides the aux blob: a lagger fast-forwarded
+	// past lease commands must still gate its replies under the current
+	// lease (it installs holder/expiry but never the self-serve right).
+	aux = r.wrapLeaseAux(aux)
 
 	var oids []store.OID
 	if full {

@@ -10,9 +10,11 @@ import (
 
 // Control-plane message kinds (distinct transport from the multicast).
 const (
-	ctlAddrQuery = 1 // executor -> remote replicas: query_obj_addr(oids)
-	ctlAddrReply = 2 // remote control proc -> executor
-	ctlResponse  = 3 // replica -> client: request response
+	ctlAddrQuery      = 1 // executor -> remote replicas: query_obj_addr(oids)
+	ctlAddrReply      = 2 // remote control proc -> executor
+	ctlResponse       = 3 // replica -> client: request response
+	ctlLeaseRead      = 4 // client -> lease holder: local single-object read
+	ctlLeaseReadReply = 5 // lease holder -> client: value or decline
 )
 
 // addrQuery asks one replica for the slot addresses of a batch of objects
@@ -105,6 +107,47 @@ func decodeResponse(r *wire.Reader) *responseMsg {
 		part:    PartitionID(r.U8()),
 		payload: r.Bytes(),
 	}
+}
+
+// leaseReadMsg is a client's local-read probe to a lease holder: the
+// token correlates the reply with the probe on the client's endpoint.
+type leaseReadMsg struct {
+	token uint64
+	oid   uint64
+}
+
+func encodeLeaseRead(m *leaseReadMsg) []byte {
+	w := wire.NewWriter(24)
+	w.U8(ctlLeaseRead)
+	w.U64(m.token)
+	w.U64(m.oid)
+	return w.Finish()
+}
+
+func decodeLeaseRead(r *wire.Reader) *leaseReadMsg {
+	return &leaseReadMsg{token: r.U64(), oid: r.U64()}
+}
+
+// leaseReadReply answers a local-read probe. ok=false declines (no live
+// lease at the probed replica, or the dual-version slot was overrun) and
+// the client retries on the ordered path.
+type leaseReadReply struct {
+	token uint64
+	ok    bool
+	val   []byte
+}
+
+func encodeLeaseReadReply(m *leaseReadReply) []byte {
+	w := wire.NewWriter(24 + len(m.val))
+	w.U8(ctlLeaseReadReply)
+	w.U64(m.token)
+	w.Bool(m.ok)
+	w.Bytes(m.val)
+	return w.Finish()
+}
+
+func decodeLeaseReadReply(r *wire.Reader) *leaseReadReply {
+	return &leaseReadReply{token: r.U64(), ok: r.Bool(), val: r.Bytes()}
 }
 
 // ctlKind splits the kind byte off a control datagram.

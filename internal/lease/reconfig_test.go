@@ -1,0 +1,149 @@
+package lease_test
+
+import (
+	"testing"
+
+	"heron/internal/core"
+	"heron/internal/lease"
+	"heron/internal/multicast"
+	"heron/internal/rdma"
+	"heron/internal/reconfig"
+	"heron/internal/sim"
+	"heron/internal/store"
+)
+
+// TestRevokeMidMigration wires the lease Manager into a live
+// reconfiguration as its LeaseFencer and drives a split that migrates an
+// object range to a brand-new partition. The change must revoke every
+// lease before the epoch flip (no holder can serve pre-migration state
+// across it), and after commit the grant loop must cover the new
+// partition so migrated objects are readable through the local fast path
+// with their migrated values intact.
+func TestRevokeMidMigration(t *testing.T) {
+	const keys = 8
+	groups := [][]rdma.NodeID{{1, 2, 3}, {4, 5, 6}}
+	initial := &reconfig.Configuration{
+		Epoch:  1,
+		Groups: groups,
+		Routes: []reconfig.Range{
+			{Lo: 0, Hi: 3, Part: 0},
+			{Lo: 4, Hi: 7, Part: 1},
+		},
+	}
+
+	s := sim.NewScheduler()
+	cfg := core.DefaultConfig(multicast.DefaultConfig(groups))
+	cfg.StoreCapacity = keys*store.SlotSize(8) + 1<<12
+	cfg.MaxPartitions = 3
+	cfg.MaxGroupSize = 3
+	d, err := core.NewDeployment(s, cfg, newRegApp, initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = d.PopulateAll(func(part core.PartitionID, rank int, rep *core.Replica) error {
+		for k := 0; k < keys; k++ {
+			oid := store.OID(k)
+			if initial.PartitionOf(oid) != part {
+				continue
+			}
+			if err := rep.Store().Register(oid, 8); err != nil {
+				return err
+			}
+			if err := rep.Store().Init(oid, encodeVal(0)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := reconfig.NewManager(d, initial, reconfig.ManagerOptions{Apps: newRegApp})
+	d.Start()
+	m := lease.Attach(d, lease.Options{})
+	m.Start()
+	mgr.SetLeaseFencer(m)
+
+	rc := lease.NewReadClient(d.NewClient(), m)
+	cr := reconfig.NewClientRouter(d.NewClient(), initial)
+
+	const (
+		movedA = store.OID(4) // written before the change, read after
+		movedB = store.OID(5) // written after the change
+	)
+	change := reconfig.Change{
+		AddPartitions: [][]rdma.NodeID{{201, 202, 203}},
+		Moves:         []reconfig.Move{{Lo: 4, Hi: 7, To: 2}},
+	}
+
+	done := false
+	s.Spawn("driver", func(p *sim.Proc) {
+		p.Sleep(2 * sim.Millisecond) // leases established on both partitions
+		if _, ok := cr.SubmitTimeout(p, []store.OID{movedA}, encodeOp(1, movedA, 17), 10*sim.Millisecond); !ok {
+			t.Error("pre-change write timed out")
+			return
+		}
+		if val, ok := rc.TryLocal(p, 1, movedA); !ok {
+			t.Error("local read declined before the change")
+			return
+		} else if got := decodeVal(val); got != 17 {
+			t.Errorf("pre-change local read = %d, want 17", got)
+			return
+		}
+
+		revokesBefore := m.Revokes
+		res, execErr := mgr.Execute(p, change)
+		if execErr != nil {
+			t.Errorf("execute: %v", execErr)
+			return
+		}
+		if !res.Committed {
+			t.Error("change did not commit")
+			return
+		}
+		if m.Revokes <= revokesBefore {
+			t.Error("Execute did not revoke leases through the fencer")
+		}
+		if res.Moved == 0 {
+			t.Error("no objects migrated")
+		}
+
+		p.Sleep(2 * sim.Millisecond) // grant loop covers the new partition
+		if h := m.Holder(2); h < 0 {
+			t.Error("migrated partition has no lease after resume")
+			return
+		}
+		// Migrated state must be visible through the new partition's
+		// local fast path without a post-change write.
+		if val, ok := rc.TryLocal(p, 2, movedA); !ok {
+			t.Error("local read declined at the migrated partition")
+			return
+		} else if got := decodeVal(val); got != 17 {
+			t.Errorf("migrated local read = %d, want 17", got)
+		}
+		// And the ordered path under the new epoch still feeds it.
+		if _, ok := cr.SubmitTimeout(p, []store.OID{movedB}, encodeOp(1, movedB, 99), 10*sim.Millisecond); !ok {
+			t.Error("post-change write timed out")
+			return
+		}
+		if val, ok := rc.TryLocal(p, 2, movedB); !ok {
+			t.Error("local read of post-change write declined")
+			return
+		} else if got := decodeVal(val); got != 99 {
+			t.Errorf("post-change local read = %d, want 99", got)
+		}
+		if cr.Epoch() != initial.Epoch+1 {
+			t.Errorf("router epoch = %d, want %d", cr.Epoch(), initial.Epoch+1)
+		}
+		done = true
+	})
+	if err := s.RunUntil(sim.Time(100 * sim.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("driver did not finish")
+	}
+	if rc.Local != 3 {
+		t.Errorf("local hits = %d, want 3", rc.Local)
+	}
+}

@@ -60,6 +60,7 @@ const (
 	SegWriteApply    // applying the write set to the local store
 	SegCoord4Wait    // phase-4 coordination write + quorum wait (incl. cut-off delay)
 	SegDurableGate   // wait on the durable-persistence gate
+	SegLeaseWait     // reply deferred behind the partition lease gate
 
 	// Synthesized by Profile.
 	SegOrdering // sent (or submit) -> earliest delivery: the atomic multicast
@@ -73,7 +74,7 @@ var segNames = [segCount]string{
 	"submit", "sent", "delivered", "done", "complete",
 	"pump_wait", "coord2_wait", "addr_resolve", "read_post", "nic_wait",
 	"version_select", "local_read", "app_execute", "write_apply",
-	"coord4_wait", "durable_gate",
+	"coord4_wait", "durable_gate", "lease_wait",
 	"ordering", "reply", "other",
 }
 
@@ -278,7 +279,7 @@ func (c *CritPath) Profile(slowestN int) *CPProfile {
 			}
 		}
 		for _, r := range recs {
-			if r.seg >= SegPumpWait && r.seg <= SegDurableGate {
+			if r.seg >= SegPumpWait && r.seg <= SegLeaseWait {
 				add(r.seg, r.start, r.end)
 			}
 		}

@@ -44,6 +44,11 @@ type Checkpointer struct {
 	lastTmp uint64   // snapTmp of that checkpoint
 	history []uint64 // snapTmps of recent checkpoints, for log retention
 
+	// extra is the deployment-level control state carried by this
+	// checkpointer (set on the designated replica only, see
+	// Options.Extra).
+	extra ExtraState
+
 	stats CkptStats
 
 	track      *obs.Track
@@ -157,8 +162,13 @@ func (c *Checkpointer) capture(p *sim.Proc) {
 	}
 	st.EndSnapshot()
 
-	aw := wire.NewWriter(len(aux) + 8)
+	var extra []byte
+	if c.extra != nil {
+		extra = c.extra.SnapshotExtra()
+	}
+	aw := wire.NewWriter(len(aux) + len(extra) + 16)
 	aw.Bytes(aux)
+	aw.Bytes(extra)
 	pend = append(pend, aw.Finish()...)
 	seg.Append(p, pend)
 	if c.rep.Crashed() {
@@ -257,6 +267,7 @@ func (c *Checkpointer) Restore(p *sim.Proc, r *core.Replica) (uint64, bool) {
 		_ = r.Store().RestoreVersion(store.OID(oid), val, tmp)
 	}
 	aux := dr.Bytes()
+	extra := dr.Bytes()
 	if dr.Err() != nil {
 		return 0, false
 	}
@@ -264,6 +275,12 @@ func (c *Checkpointer) Restore(p *sim.Proc, r *core.Replica) (uint64, bool) {
 		if syncer, ok := r.App().(core.AuxSyncer); ok {
 			syncer.ApplyAux(aux)
 		}
+	}
+	// Deployment-level extra state is re-installed only when the carrier
+	// replica itself restores — a donor restore into a joiner must not
+	// clobber the live controller's state.
+	if c.extra != nil && len(extra) > 0 && r == c.rep {
+		c.extra.RestoreExtra(extra)
 	}
 	c.stats.Restores++
 	c.stats.RestoreBytes += uint64(len(data))

@@ -1,0 +1,131 @@
+package persist
+
+import (
+	"testing"
+
+	"heron/internal/core"
+	"heron/internal/multicast"
+	"heron/internal/rdma"
+	"heron/internal/sim"
+	"heron/internal/store"
+	"heron/internal/wire"
+)
+
+// A minimal register application for checkpoint integration tests:
+// payload [oid u64][val u64] writes val into oid.
+
+type ckptApp struct{}
+
+func newCkptApp(core.PartitionID, int) core.Application { return ckptApp{} }
+
+var ckptParter = core.PartitionerFunc(func(oid store.OID) core.PartitionID {
+	return core.PartitionID(uint64(oid) >> 32)
+})
+
+func (ckptApp) ReadSet(*core.Request) []store.OID { return nil }
+
+func (ckptApp) Execute(ctx *core.ExecContext) core.Outcome {
+	r := wire.NewReader(ctx.Req.Payload)
+	oid, val := store.OID(r.U64()), r.U64()
+	w := wire.NewWriter(8)
+	w.U64(val)
+	v := w.Finish()
+	return core.Outcome{Response: v, Writes: []core.Write{{OID: oid, Val: v}}}
+}
+
+// fakeExtra records every RestoreExtra delivery.
+type fakeExtra struct {
+	blob     []byte
+	restored [][]byte
+}
+
+func (f *fakeExtra) SnapshotExtra() []byte { return append([]byte(nil), f.blob...) }
+func (f *fakeExtra) RestoreExtra(b []byte) {
+	f.restored = append(f.restored, append([]byte(nil), b...))
+}
+
+// TestExtraStateRidesCheckpoints: an Options.Extra provider is attached
+// to the designated carrier (p0/r0) only, its blob is captured with each
+// checkpoint, re-installed when the carrier replica restores itself, and
+// NOT installed when the same checkpoint seeds a different replica.
+func TestExtraStateRidesCheckpoints(t *testing.T) {
+	s := sim.NewScheduler()
+	layout := [][]rdma.NodeID{{1, 2, 3}}
+	cfg := core.DefaultConfig(multicast.DefaultConfig(layout))
+	cfg.StoreCapacity = 4*store.SlotSize(8) + 1<<12
+	d, err := core.NewDeployment(s, cfg, newCkptApp, ckptParter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = d.PopulateAll(func(part core.PartitionID, rank int, rep *core.Replica) error {
+		for k := uint32(0); k < 4; k++ {
+			oid := store.OID(uint64(part)<<32 | uint64(k))
+			if err := rep.Store().Register(oid, 8); err != nil {
+				return err
+			}
+			w := wire.NewWriter(8)
+			w.U64(0)
+			if err := rep.Store().Init(oid, w.Finish()); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fake := &fakeExtra{blob: []byte("cooldown-state-v1")}
+	l := Attach(d, &Options{Interval: 200 * sim.Microsecond, Extra: fake})
+	d.Start()
+
+	if l.Checkpointer(0, 0).extra == nil {
+		t.Fatal("designated carrier p0/r0 did not receive the extra provider")
+	}
+	if l.Checkpointer(0, 1).extra != nil {
+		t.Fatal("non-carrier replica received the extra provider")
+	}
+
+	done := false
+	s.Spawn("driver", func(p *sim.Proc) {
+		cl := d.NewClient()
+		w := wire.NewWriter(16)
+		w.U64(1) // oid p0/k1
+		w.U64(99)
+		if _, err := cl.Submit(p, []core.PartitionID{0}, w.Finish()); err != nil {
+			t.Errorf("write: %v", err)
+			return
+		}
+		p.Sleep(1 * sim.Millisecond) // several checkpoint intervals
+
+		c := l.Checkpointer(0, 0)
+		if c.Stats().Checkpoints == 0 {
+			t.Error("carrier took no checkpoints")
+			return
+		}
+		// Restoring the carrier replica itself re-installs the blob.
+		if _, ok := c.Restore(p, d.Replica(0, 0)); !ok {
+			t.Error("carrier restore failed")
+			return
+		}
+		if len(fake.restored) != 1 || string(fake.restored[0]) != string(fake.blob) {
+			t.Errorf("restored extra = %q (x%d), want one copy of %q",
+				fake.restored, len(fake.restored), fake.blob)
+		}
+		// The same checkpoint seeding a different replica (the donor path
+		// a joiner takes) must not clobber the live provider's state.
+		if _, ok := c.Restore(p, d.Replica(0, 1)); !ok {
+			t.Error("donor restore failed")
+			return
+		}
+		if len(fake.restored) != 1 {
+			t.Errorf("donor restore applied extra state: %d deliveries", len(fake.restored))
+		}
+		done = true
+	})
+	if err := s.RunUntil(sim.Time(10 * sim.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("driver did not finish")
+	}
+}

@@ -12,6 +12,17 @@ import (
 // multicastTs narrows a store timestamp to the ordering layer's type.
 func multicastTs(v uint64) multicast.Timestamp { return multicast.Timestamp(v) }
 
+// ExtraState is deployment-level control state that rides the designated
+// carrier replica's checkpoints (partition 0, rank 0): SnapshotExtra is
+// captured with each of its checkpoints, and RestoreExtra fires when
+// that replica restores from disk — the rebalance controller persists
+// its cooldown/backoff clocks this way, so a controller restarted after
+// a crash resumes its hysteresis instead of thrashing.
+type ExtraState interface {
+	SnapshotExtra() []byte
+	RestoreExtra([]byte)
+}
+
 // Options configures the persistence layer.
 type Options struct {
 	// Interval between checkpoint attempts per replica (default 400µs —
@@ -29,6 +40,9 @@ type Options struct {
 	// (default 16), so it can serve delta transfers to peers whose
 	// checkpoints are a few intervals stale.
 	LogRetention int
+	// Extra, when non-nil, is carried by the designated replica's
+	// checkpoints (see ExtraState).
+	Extra ExtraState
 }
 
 // withDefaults fills zero fields.
@@ -83,6 +97,9 @@ func Attach(d *core.Deployment, opt *Options) *Layer {
 		for rank := range d.Replicas[part] {
 			l.attachOne(core.PartitionID(part), rank)
 		}
+	}
+	if l.opt.Extra != nil && len(l.cps) > 0 && len(l.cps[0]) > 0 {
+		l.cps[0][0].extra = l.opt.Extra
 	}
 	return l
 }

@@ -10,6 +10,7 @@ import (
 	"heron/internal/reconfig"
 	"heron/internal/sim"
 	"heron/internal/store"
+	"heron/internal/wire"
 )
 
 // Planner is the pure decision core: thresholds plus the mutable
@@ -398,6 +399,76 @@ func (pl *Planner) Outcome(committed bool, epoch uint64) {
 
 // Changes reports how many changes the planner has issued.
 func (pl *Planner) Changes() int { return pl.changes }
+
+// plannerStateVersion tags the SnapshotState encoding.
+const plannerStateVersion = 1
+
+// SnapshotState serializes the planner's mutable control state — the
+// hysteresis streaks, the cooldown/backoff clocks, the last-change
+// instant, the pending feedback probe, and the change budget — so a
+// controller replica can persist it alongside a checkpoint and a
+// restarted controller resumes exactly where the crashed one left off
+// (instead of forgetting a doubled cooldown and thrashing). The decision
+// log is deliberately excluded: it is telemetry, not control state.
+func (pl *Planner) SnapshotState() []byte {
+	w := wire.NewWriter(64 + 8*len(pl.hotStreak))
+	w.U32(plannerStateVersion)
+	w.U32(uint32(len(pl.hotStreak)))
+	for _, v := range pl.hotStreak {
+		w.U32(uint32(v))
+	}
+	w.U32(uint32(len(pl.coldStreak)))
+	for _, v := range pl.coldStreak {
+		w.U32(uint32(v))
+	}
+	w.U64(uint64(pl.lastAt))
+	w.Bool(pl.changed)
+	w.I64(int64(pl.cooldown))
+	w.Bool(pl.fb != nil)
+	if pl.fb != nil {
+		w.U32(uint32(pl.fb.part))
+		w.I64(pl.fb.queue)
+	}
+	w.U32(uint32(pl.changes))
+	return w.Finish()
+}
+
+// RestoreState installs a SnapshotState blob, replacing the planner's
+// mutable control state. Unknown versions and truncated blobs are
+// ignored (the planner keeps its fresh-start state — the safe default
+// for a controller restored from a pre-upgrade checkpoint).
+func (pl *Planner) RestoreState(b []byte) {
+	r := wire.NewReader(b)
+	if r.U32() != plannerStateVersion {
+		return
+	}
+	hot := make([]int, r.U32())
+	for i := range hot {
+		hot[i] = int(r.U32())
+	}
+	cold := make([]int, r.U32())
+	for i := range cold {
+		cold[i] = int(r.U32())
+	}
+	lastAt := sim.Time(r.U64())
+	changed := r.Bool()
+	cooldown := sim.Duration(r.I64())
+	var fb *feedback
+	if r.Bool() {
+		fb = &feedback{part: int(r.U32()), queue: r.I64()}
+	}
+	changes := int(r.U32())
+	if r.Err() != nil {
+		return
+	}
+	pl.hotStreak = hot
+	pl.coldStreak = cold
+	pl.lastAt = lastAt
+	pl.changed = changed
+	pl.cooldown = cooldown
+	pl.fb = fb
+	pl.changes = changes
+}
 
 // issued records that a change left the planner this tick.
 func (pl *Planner) issued(now sim.Time, fb *feedback) {

@@ -36,6 +36,18 @@ type ManagerOptions struct {
 	Seeder JoinerSeeder
 }
 
+// LeaseFencer drains partition read leases around a configuration change.
+// FenceLeases must stop new grants, revoke live leases, and not return
+// until no replica can serve a local read under a pre-change lease (on the
+// shared virtual clock: until every granted lease's absolute expiry has
+// passed) — otherwise a laggard holder that has not executed the config
+// command could serve stale reads of migrated objects after the flip.
+// ResumeLeases re-enables granting. internal/lease implements it.
+type LeaseFencer interface {
+	FenceLeases(p *sim.Proc)
+	ResumeLeases()
+}
+
 // JoinerSeeder seeds a joining replica's recovery. JoinerSource is called
 // while the joiner at (part, rank) is attached, with fromRank naming the
 // live member whose state the joiner would otherwise full-transfer; a nil
@@ -67,6 +79,7 @@ type Manager struct {
 	cond         *sim.Cond
 	fenceTimeout sim.Duration
 	seeder       JoinerSeeder
+	fencer       LeaseFencer
 
 	attempt *attempt
 	// verdicts/outcomes record the fate of every config command ever
@@ -160,6 +173,10 @@ func NewManager(d *core.Deployment, initial *Configuration, o ManagerOptions) *M
 	return m
 }
 
+// SetLeaseFencer installs the lease-drain hook run before every config
+// command submission (and released after the flip or abort).
+func (m *Manager) SetLeaseFencer(f LeaseFencer) { m.fencer = f }
+
 // Current returns the configuration of the highest committed epoch.
 func (m *Manager) Current() *Configuration { return m.cur }
 
@@ -252,6 +269,13 @@ func (m *Manager) Execute(p *sim.Proc, ch Change) (*Result, error) {
 		return nil, err
 	}
 
+	// Drain read leases before the command enters the total order: after
+	// FenceLeases returns, no replica can serve a local read under a
+	// pre-change lease, so the flip cannot strand a leased laggard.
+	if m.fencer != nil {
+		m.fencer.FenceLeases(p)
+	}
+
 	// Submit the command. The fence hook may fire (on replica executors)
 	// while Multicast is still sending; it does not need the id — only the
 	// decision paths below do, and both run after Multicast returned.
@@ -275,14 +299,22 @@ func (m *Manager) Execute(p *sim.Proc, ch Change) (*Result, error) {
 		return true
 	})
 	if !fenced {
-		return m.abort(a), nil
+		return m.finishChange(m.abort(a)), nil
 	}
 	if err := m.deltaCopy(p, plan, oldParts, newStores, preTs, a); err != nil {
 		// The catch-up copy lost its last frozen source: the new layout
 		// cannot be made complete, so the change rolls back.
-		return m.abort(a), nil
+		return m.finishChange(m.abort(a)), nil
 	}
-	return m.flip(a, next, ch, oldParts, newStores), nil
+	return m.finishChange(m.flip(a, next, ch, oldParts, newStores)), nil
+}
+
+// finishChange re-enables lease granting after a change's verdict.
+func (m *Manager) finishChange(res *Result) *Result {
+	if m.fencer != nil {
+		m.fencer.ResumeLeases()
+	}
+	return res
 }
 
 // abort rolls a change back: the command becomes a no-op everywhere (the
