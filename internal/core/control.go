@@ -67,11 +67,21 @@ func (r *Replica) runControl(p *sim.Proc) {
 		}
 		r.flushGatedReplies(p)
 		next := r.checkStateTransfers(p, watches)
+		if len(r.gatedQ) > 0 && p.Now() < r.leaseExpire && r.leaseExpire < next {
+			// A parked reply whose gate opens on lease expiry is a pure
+			// time condition — nothing broadcasts at that instant — so wake
+			// exactly then.
+			next = r.leaseExpire
+		}
 		wait := sim.Duration(next - p.Now())
 		if wait <= 0 || wait > 200*sim.Microsecond {
 			wait = 200 * sim.Microsecond
 		}
-		if ep.Pending() {
+		if ep.Pending() || r.gatedReady(p.Now()) {
+			// gatedReady: a holder frontier publish (WriteNotify broadcast)
+			// that landed during this iteration would be lost by the wait
+			// below — re-flush now instead of stranding the reply until the
+			// poll timeout.
 			continue
 		}
 		r.node.WriteNotify().WaitTimeout(p, wait)

@@ -13,14 +13,17 @@ import (
 // A lease names one holder rank per partition and an absolute virtual-time
 // expiry. While the lease is live, the holder serves single-object reads
 // locally from its dual-versioned store (at its own execution frontier) —
-// no multicast round. Linearizability is preserved by gating: every OTHER
+// no multicast round. Linearizability is preserved by gating: every
 // replica of a leased partition defers its reply to an ordered request
-// until the holder's published execution frontier has passed the request,
-// or the lease has expired on the shared virtual clock. Since clients
-// complete an operation on the FIRST response per partition, gating all
-// non-holder replicas guarantees that every completed operation is in the
-// holder's executed prefix before its completion — so a later local read
-// at the holder's frontier observes it.
+// until the holder's execution frontier has passed the request, or the
+// lease has expired on the shared virtual clock. Non-holders watch the
+// holder's published frontier; the holder gates on its own lastExec,
+// which matters under parallel execution where a request can finish
+// while an older one is still in flight. Since clients complete an
+// operation on the FIRST response per partition, this guarantees that
+// every completed operation is in the holder's executed prefix before
+// its completion — so a later local read at the holder's frontier
+// observes it.
 //
 // Grants, renewals, and revocations are lease commands in the total order
 // (multicast to the partition like any request) carrying a monotonic
@@ -52,11 +55,13 @@ const (
 // EncodeLeaseCommand builds a totally-ordered lease command. For grants
 // (and renewals) holder is the lease-holder rank and expire the absolute
 // virtual-time expiry stamped by the grantor; revocations ignore both.
+// The rank travels as two bytes, bounding it at 65535 — far above any
+// partition's replica count.
 func EncodeLeaseCommand(seq uint64, kind uint8, holder int, expire sim.Time) []byte {
-	body := make([]byte, 10)
+	body := make([]byte, 11)
 	body[0] = kind
-	body[1] = uint8(holder)
-	binary.LittleEndian.PutUint64(body[2:10], uint64(expire))
+	binary.LittleEndian.PutUint16(body[1:3], uint16(holder))
+	binary.LittleEndian.PutUint64(body[3:11], uint64(expire))
 	return taggedPayload(leaseCmdMagic, seq, body)
 }
 
@@ -68,10 +73,10 @@ func IsLeaseCommand(b []byte) bool {
 // DecodeLeaseCommand splits a lease command.
 func DecodeLeaseCommand(b []byte) (seq uint64, kind uint8, holder int, expire sim.Time, ok bool) {
 	seq, body, ok := splitTagged(leaseCmdMagic, b)
-	if !ok || len(body) < 10 {
+	if !ok || len(body) < 11 {
 		return 0, 0, 0, 0, false
 	}
-	return seq, body[0], int(body[1]), sim.Time(binary.LittleEndian.Uint64(body[2:10])), true
+	return seq, body[0], int(binary.LittleEndian.Uint16(body[1:3])), sim.Time(binary.LittleEndian.Uint64(body[3:11])), true
 }
 
 // applyLeaseCommand installs a lease command at its position in the
@@ -138,15 +143,26 @@ func (r *Replica) holderFrontier(q int) uint64 {
 }
 
 // leaseGateOpen decides whether a reply for a request at ts may be sent
-// now: no live lease, we are the holder, the lease expired on the shared
-// clock, or the holder's published frontier already covers the request.
+// now: no live lease, the lease expired on the shared clock, the holder's
+// published frontier already covers the request, or — on the holder
+// itself — our own contiguous executed frontier covers it.
 func (r *Replica) leaseGateOpen(ts multicast.Timestamp, now sim.Time) bool {
 	h := r.leaseHolder
-	if h < 0 || h == r.rank {
+	if h < 0 {
 		return true
 	}
 	if now >= r.leaseExpire {
 		return true
+	}
+	if h == r.rank {
+		// A self-serving holder gates its own replies on lastExec too:
+		// under parallel execution a worker can finish a request while an
+		// older one is still in flight, so the local-read snapshot (taken
+		// at lastExec+1) may not yet cover this request — acknowledging it
+		// now would let a subsequent local read miss the acknowledged
+		// write. The serial path advances lastExec before replying, so
+		// this gate is always open there.
+		return !r.leaseSelfServe || r.lastExec >= ts
 	}
 	return r.holderFrontier(h) >= uint64(ts)
 }
@@ -187,6 +203,18 @@ func (r *Replica) flushGatedReplies(p *sim.Proc) {
 		r.reply(p, e.req, e.resp)
 	}
 	r.gatedQ = kept
+}
+
+// gatedReady reports whether any parked reply's gate has opened — the
+// control loop's pre-sleep check, so a gate that opens between a flush
+// and the next wait never strands a reply until the poll timeout.
+func (r *Replica) gatedReady(now sim.Time) bool {
+	for _, e := range r.gatedQ {
+		if r.leaseGateOpen(e.req.Ts, now) {
+			return true
+		}
+	}
+	return false
 }
 
 // serveLeaseRead answers a client's local-read probe: only a live,

@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 
-	"heron/internal/multicast"
 	"heron/internal/obs"
 	"heron/internal/sim"
 	"heron/internal/store"
@@ -41,6 +40,7 @@ type execItem struct {
 	reads  []store.OID
 	writes []store.OID
 	rec    TraceRecord
+	done   bool
 }
 
 // execPool schedules non-conflicting requests onto worker processes.
@@ -50,9 +50,14 @@ type execPool struct {
 	readers map[store.OID]int
 	writers map[store.OID]int
 	// inflight counts dispatched-but-incomplete requests.
-	inflight     int
-	changed      *sim.Cond
-	lastSingleTs multicast.Timestamp
+	inflight int
+	changed  *sim.Cond
+	// order holds dispatched items in admission (= timestamp) order; the
+	// done prefix retires into r.lastExec on each completion, keeping it a
+	// contiguous executed frontier even while newer requests are still in
+	// flight — the invariant state-transfer responders and the lease reply
+	// gate both read.
+	order []*execItem
 }
 
 func newExecPool(r *Replica, s *sim.Scheduler) *execPool {
@@ -93,11 +98,12 @@ func (pl *execPool) admit(p *sim.Proc, it *execItem) {
 		pl.writers[oid]++
 	}
 	pl.inflight++
-	pl.lastSingleTs = it.req.Ts
+	pl.order = append(pl.order, it)
 	pl.queue.Send(it)
 }
 
-// complete releases the item's conflict accounting.
+// complete releases the item's conflict accounting and retires the done
+// prefix of the admission order into the replica's executed frontier.
 func (pl *execPool) complete(it *execItem) {
 	for _, oid := range it.reads {
 		if pl.readers[oid]--; pl.readers[oid] == 0 {
@@ -110,13 +116,17 @@ func (pl *execPool) complete(it *execItem) {
 		}
 	}
 	pl.inflight--
-	if pl.inflight == 0 {
-		// All dispatched work retired: execution state now reflects every
-		// request up to the newest dispatched one (safe point for
-		// last_exec, used by state-transfer responders).
-		if pl.lastSingleTs > pl.r.lastExec {
-			pl.r.lastExec = pl.lastSingleTs
+	it.done = true
+	// Admission follows delivery (= timestamp) order, so once every older
+	// in-flight request has finished, execution state reflects the whole
+	// prefix through the retired item — last_exec stays a contiguous
+	// frontier without waiting for a full drain.
+	for len(pl.order) > 0 && pl.order[0].done {
+		if ts := pl.order[0].req.Ts; ts > pl.r.lastExec {
+			pl.r.lastExec = ts
 		}
+		pl.order[0] = nil
+		pl.order = pl.order[1:]
 	}
 	pl.changed.Broadcast()
 }
@@ -139,19 +149,24 @@ func (r *Replica) runWorker(pl *execPool, idx int, tk *obs.Track) func(p *sim.Pr
 			t0 := p.Now()
 			resp, okExec := r.execute(p, it.req, tk)
 			it.rec.Exec = sim.Duration(p.Now() - t0)
+			it.rec.Done = p.Now()
+			// Retire before replying: complete advances the contiguous
+			// executed frontier, so a self-serving holder's reply gate
+			// (lastExec >= req.Ts) is already open when this request is the
+			// oldest in flight; otherwise the reply parks in gatedQ until
+			// the frontier passes it.
+			pl.complete(it)
+			if r.leaseSelfServe {
+				r.publishLeaseProgress(p, uint64(r.lastExec))
+			}
 			if okExec {
 				r.statExecuted++
 				r.obs.executed.Inc()
-				it.rec.Done = p.Now()
 				r.noteDone(it.req, it.rec)
 				r.gatedReply(p, it.req, resp)
 				r.trace(it.req, it.rec)
 			}
 			sp.End()
-			pl.complete(it)
-			if r.leaseSelfServe {
-				r.publishLeaseProgress(p, uint64(r.lastExec))
-			}
 		}
 	}
 }

@@ -14,7 +14,11 @@ import (
 
 // A minimal register application: payload [op u8][oid u64][val u64];
 // op 0 reads the object (response = its value), op 1 writes val into it
-// (response = val). OIDs carry the owning partition in the high 32 bits.
+// (response = val), op 2 is a write that additionally burns slowWriteCPU
+// of execution time (for parallel-executor overlap tests). OIDs carry the
+// owning partition in the high 32 bits.
+
+const slowWriteCPU = 200 * sim.Microsecond
 
 type regApp struct{ part core.PartitionID }
 
@@ -64,20 +68,39 @@ func (a *regApp) ReadSet(req *core.Request) []store.OID {
 	return nil
 }
 
+// ConflictSets implements core.ConflictEstimator so the parallel executor
+// can dispatch non-conflicting register ops to different workers.
+func (a *regApp) ConflictSets(req *core.Request) (reads, writes []store.OID, ok bool) {
+	op, oid, _ := decodeOp(req.Payload)
+	if op == 0 {
+		return []store.OID{oid}, nil, true
+	}
+	return nil, []store.OID{oid}, true
+}
+
 func (a *regApp) Execute(ctx *core.ExecContext) core.Outcome {
 	op, oid, val := decodeOp(ctx.Req.Payload)
 	if op == 0 {
 		return core.Outcome{Response: append([]byte(nil), ctx.Values[oid]...)}
 	}
-	return core.Outcome{
+	out := core.Outcome{
 		Response: encodeVal(val),
 		Writes:   []core.Write{{OID: oid, Val: encodeVal(val)}},
 	}
+	if op == 2 {
+		out.CPU = slowWriteCPU
+	}
+	return out
 }
 
 const testKeys = 4
 
 func build(t *testing.T, partitions, replicas int) (*sim.Scheduler, *core.Deployment) {
+	t.Helper()
+	return buildWorkers(t, partitions, replicas, 1)
+}
+
+func buildWorkers(t *testing.T, partitions, replicas, workers int) (*sim.Scheduler, *core.Deployment) {
 	t.Helper()
 	s := sim.NewScheduler()
 	layout := make([][]rdma.NodeID, partitions)
@@ -90,6 +113,7 @@ func build(t *testing.T, partitions, replicas int) (*sim.Scheduler, *core.Deploy
 	}
 	cfg := core.DefaultConfig(multicast.DefaultConfig(layout))
 	cfg.StoreCapacity = testKeys*store.SlotSize(8) + 1<<12
+	cfg.ExecWorkers = workers
 	d, err := core.NewDeployment(s, cfg, newRegApp, regParter)
 	if err != nil {
 		t.Fatal(err)
@@ -155,6 +179,53 @@ func TestGrantAndLocalRead(t *testing.T) {
 	}
 	if !d.Replica(0, 0).LeaseSelfServe() {
 		t.Error("holder replica is not self-serving")
+	}
+}
+
+// TestParallelHolderGatesOwnReplies reproduces the parallel-executor
+// read-your-write hazard: with ExecWorkers > 1, a fast write can finish
+// while an older, slower, non-conflicting write is still in flight, so
+// the holder's contiguous executed frontier (lastExec) has not covered
+// the fast write yet. The holder must defer its own acknowledgement until
+// the frontier passes the request — otherwise the client's immediate
+// local read (served at lastExec+1) misses the write it was just acked.
+func TestParallelHolderGatesOwnReplies(t *testing.T) {
+	s, d := buildWorkers(t, 1, 3, 4)
+	m := lease.Attach(d, lease.Options{})
+	m.Start()
+	slowCl := d.NewClient()
+	cl := d.NewClient()
+	rc := lease.NewReadClient(cl, m)
+	slowOID, fastOID := regOID(0, 0), regOID(0, 3)
+	done := false
+	s.Spawn("slow-writer", func(p *sim.Proc) {
+		p.Sleep(500 * sim.Microsecond) // past the first grant
+		if _, err := slowCl.Submit(p, []core.PartitionID{0}, encodeOp(2, slowOID, 1)); err != nil {
+			t.Errorf("slow write: %v", err)
+		}
+	})
+	s.Spawn("client", func(p *sim.Proc) {
+		// Land the fast write while the slow one occupies a worker.
+		p.Sleep(550 * sim.Microsecond)
+		if _, err := cl.Submit(p, []core.PartitionID{0}, encodeOp(1, fastOID, 99)); err != nil {
+			t.Errorf("fast write: %v", err)
+			return
+		}
+		val, ok := rc.TryLocal(p, 0, fastOID)
+		if !ok {
+			t.Error("local read declined with a live lease")
+			return
+		}
+		if got := decodeVal(val); got != 99 {
+			t.Errorf("local read after acked write = %d, want 99 — read-your-write violated", got)
+		}
+		done = true
+	})
+	if err := s.RunUntil(sim.Time(20 * sim.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("client did not finish")
 	}
 }
 
