@@ -16,6 +16,7 @@
 //	heron-bench recovery [-seeds 2] [-seed 1]
 //	heron-bench rebalance [-scenario hotshift|flash|skew|scaleout|feedercrash|donorcrash] [-seed 1]
 //	heron-bench lease   [-partitions 2] [-replicas 3] [-clients 24] [-readpct 95] [-window 20ms] [-seed 1]
+//	heron-bench lsm     [-keys 16,64,256] [-valbytes 256] [-preset snappy|zstd|none] [-seed 1]
 //	heron-bench openloop [-groups 4] [-replicas 3] [-domains 1] [-clients 100000]
 //	                     [-rate 10] [-arrival poisson|pareto] [-shape steady|diurnal|flash]
 //	                     [-mix update|ycsb-b|ycsb-c] [-window 20ms] [-seed 1]
@@ -91,6 +92,8 @@ func main() {
 		err = runRebalanceCmd(args)
 	case "lease":
 		err = runLeaseCmd(args)
+	case "lsm":
+		err = runLSMCmd(args)
 	case "openloop":
 		err = runOpenLoopCmd(args)
 	case "parallel":
@@ -109,7 +112,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: heron-bench {fig4|fig5|fig6|fig7|fig8|table1|ablation|workers|fanout|chaos|reconfig|recovery|rebalance|lease|openloop|parallel|all} [flags] [-json]")
+	fmt.Fprintln(os.Stderr, "usage: heron-bench {fig4|fig5|fig6|fig7|fig8|table1|ablation|workers|fanout|chaos|reconfig|recovery|rebalance|lease|lsm|openloop|parallel|all} [flags] [-json]")
 }
 
 // formatter is any experiment result renderable as a text table.
@@ -561,6 +564,43 @@ func runLeaseCmd(args []string) error {
 	if !res.Gate() {
 		return fmt.Errorf("lease fast path failed its gate: %.2fx speedup (floor %.1fx) or fallback-dominated reads (see output)",
 			res.Speedup, bench.LeaseGateSpeedup)
+	}
+	return nil
+}
+
+func runLSMCmd(args []string) error {
+	fs := flag.NewFlagSet("lsm", flag.ExitOnError)
+	opts := bench.DefaultLSMBenchOptions(1)
+	keys := fs.String("keys", "", "comma-separated per-partition store sizes (default 16,64,256)")
+	fs.IntVar(&opts.ValBytes, "valbytes", opts.ValBytes, "value padding in bytes")
+	fs.StringVar(&opts.Preset, "preset", opts.Preset, "compression preset: snappy (default), zstd, none")
+	fs.Int64Var(&opts.Seed, "seed", opts.Seed, "fault-schedule seed")
+	asJSON := fs.Bool("json", false, "emit machine-readable JSON (byte-identical across replays)")
+	oo := addObsFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *keys != "" {
+		ks, err := parseInts(*keys, "store size")
+		if err != nil {
+			return err
+		}
+		opts.Keys = ks
+	}
+	o := oo.observer()
+	opts.Obs = o
+	res, err := bench.RunLSMBench(opts)
+	if err != nil {
+		return err
+	}
+	if err := oo.finish(o); err != nil {
+		return err
+	}
+	if err := emit(res, *asJSON); err != nil {
+		return err
+	}
+	if !res.Gate() {
+		return fmt.Errorf("lsm engine failed its gate: flat beat it on write-amp or recovery at the largest store size, or the read path misbehaved (see output)")
 	}
 	return nil
 }

@@ -1,0 +1,315 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"heron/internal/chaos"
+	"heron/internal/lsm"
+	"heron/internal/obs"
+	"heron/internal/persist"
+	"heron/internal/sim"
+	"heron/internal/store"
+)
+
+// LSM benchmark: the flat full-store snapshot engine (PR 5) against the
+// log-structured engine, on the same seeded durable crash→recover
+// schedules, across store sizes. Two axes decide the matchup: write
+// amplification (physical write volume over logically-dirty volume —
+// flat rewrites the whole store every interval, the LSM flushes only
+// the dirty set and pays a bounded compaction rewrite) and recovery
+// cost (flat reads one uncompressed snapshot, the LSM reads its
+// compressed run set). A deterministic read-path microbench drives the
+// tree directly over the NVMe cost model: cold gets, cached re-gets,
+// and absent-key probes that the bloom filters must screen.
+
+// lsmKeys are the per-partition store sizes swept; the gate is judged
+// at the largest, where the engines diverge most.
+var lsmKeys = []int{16, 64, 256}
+
+// DefaultLSMValBytes pads workload values so the durable footprint is
+// dominated by data, not slot headers.
+const DefaultLSMValBytes = 256
+
+// LSMBenchOptions configure one sweep.
+type LSMBenchOptions struct {
+	Seed     int64
+	Keys     []int  // per-partition store sizes (default lsmKeys)
+	ValBytes int    // value padding (default DefaultLSMValBytes)
+	Preset   string // LSM compression preset (default snappy-class)
+	Obs      *obs.Observer
+}
+
+// DefaultLSMBenchOptions sizes the sweep to finish in seconds.
+func DefaultLSMBenchOptions(seed int64) LSMBenchOptions {
+	return LSMBenchOptions{Seed: seed, Keys: lsmKeys, ValBytes: DefaultLSMValBytes}
+}
+
+// LSMRow compares the two engines on one (seed, store size) pair.
+type LSMRow struct {
+	Seed     int64 `json:"seed"`
+	Keys     int   `json:"keys"`
+	ValBytes int   `json:"val_bytes"`
+
+	FlatDirtyBytes   uint64  `json:"flat_dirty_bytes"`
+	FlatWrittenBytes uint64  `json:"flat_written_bytes"`
+	FlatWriteAmp     float64 `json:"flat_write_amp"`
+	LSMDirtyBytes    uint64  `json:"lsm_dirty_bytes"`
+	LSMWrittenBytes  uint64  `json:"lsm_written_bytes"`
+	LSMWriteAmp      float64 `json:"lsm_write_amp"`
+
+	FlatRecoveryNS int64 `json:"flat_recovery_ns"`
+	LSMRecoveryNS  int64 `json:"lsm_recovery_ns"`
+
+	Compactions      uint64 `json:"lsm_compactions"`
+	FlushFaults      uint64 `json:"flush_faults"`
+	CompactionFaults uint64 `json:"compaction_faults"`
+
+	CkptRecoveries   uint64 `json:"checkpoint_recoveries"`
+	FlatLinearizable bool   `json:"flat_linearizable"`
+	LSMLinearizable  bool   `json:"lsm_linearizable"`
+}
+
+// LSMReadBench is the tree-level read microbench: a compacted tree over
+// the NVMe cost model, probed with cold reads, hot re-reads, and absent
+// keys.
+type LSMReadBench struct {
+	Keys    int `json:"keys"`
+	Lookups int `json:"lookups"`
+	Absent  int `json:"absent_lookups"`
+
+	PresentNS int64 `json:"present_ns"` // both get waves
+	AbsentNS  int64 `json:"absent_ns"`
+
+	CacheHits      uint64  `json:"cache_hits"`
+	CacheMisses    uint64  `json:"cache_misses"`
+	CacheHitRate   float64 `json:"cache_hit_rate"`
+	BloomNegatives uint64  `json:"bloom_negatives"`
+}
+
+// LSMResult is the full sweep plus the read microbench. Everything
+// derives from virtual state: same flags, byte-identical JSON.
+type LSMResult struct {
+	Preset string        `json:"preset"`
+	Rows   []*LSMRow     `json:"rows"`
+	Read   *LSMReadBench `json:"read_bench"`
+}
+
+// Gate is the CI acceptance check: at the largest store size the LSM
+// engine must beat flat on both write amplification and recovery time
+// (both runs linearizable, recoveries actually via checkpoints), and
+// the read microbench must show the bloom filters screening absent
+// keys and the cache absorbing re-reads.
+func (r *LSMResult) Gate() bool {
+	if len(r.Rows) == 0 || r.Read == nil {
+		return false
+	}
+	last := r.Rows[len(r.Rows)-1]
+	if !last.FlatLinearizable || !last.LSMLinearizable || last.CkptRecoveries == 0 {
+		return false
+	}
+	if last.LSMWriteAmp >= last.FlatWriteAmp {
+		return false
+	}
+	if last.LSMRecoveryNS >= last.FlatRecoveryNS {
+		return false
+	}
+	// Bloom filters must screen the great majority of absent probes
+	// (default 10 bits/key targets ~1% FPR), and re-reads must hit.
+	if r.Read.BloomNegatives < uint64(r.Read.Absent*9/10) {
+		return false
+	}
+	return r.Read.CacheHits > 0 && r.Read.CacheHitRate > 0.3
+}
+
+// Format renders the sweep as tables.
+func (r *LSMResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "engine comparison (preset=%s)\n", r.Preset)
+	fmt.Fprintf(&b, "%-6s %-6s %12s %12s %9s %9s %12s %12s %6s %6s\n",
+		"seed", "keys", "flat-wr", "lsm-wr", "flat-amp", "lsm-amp", "flat-rec-us", "lsm-rec-us", "comps", "faults")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-6d %-6d %12d %12d %9.2f %9.2f %12.1f %12.1f %6d %d/%d\n",
+			row.Seed, row.Keys, row.FlatWrittenBytes, row.LSMWrittenBytes,
+			row.FlatWriteAmp, row.LSMWriteAmp,
+			float64(row.FlatRecoveryNS)/1e3, float64(row.LSMRecoveryNS)/1e3,
+			row.Compactions, row.FlushFaults, row.CompactionFaults)
+	}
+	if r.Read != nil {
+		fmt.Fprintf(&b, "\nread path (%d keys, %d lookups + %d absent)\n",
+			r.Read.Keys, r.Read.Lookups, r.Read.Absent)
+		fmt.Fprintf(&b, "present %.1fus  absent %.1fus  cache %d/%d (%.0f%%)  bloom-negative %d\n",
+			float64(r.Read.PresentNS)/1e3, float64(r.Read.AbsentNS)/1e3,
+			r.Read.CacheHits, r.Read.CacheHits+r.Read.CacheMisses,
+			100*r.Read.CacheHitRate, r.Read.BloomNegatives)
+	}
+	return b.String()
+}
+
+// runLSMOnce runs one durable schedule with the selected engine.
+func runLSMOnce(o LSMBenchOptions, keys int, engine persist.Engine) (*chaos.Report, error) {
+	opt := chaos.DefaultOptions()
+	opt.Keys = keys
+	opt.ValBytes = o.ValBytes
+	sc, err := chaos.Generate("durable", o.Seed, opt.Partitions, opt.Replicas)
+	if err != nil {
+		return nil, err
+	}
+	opt.Schedule = sc
+	opt.Obs = o.Obs
+	opt.Persist = &persist.Options{Engine: engine, LSM: lsm.Config{Preset: o.Preset}}
+	rep, err := chaos.Run(opt)
+	if err != nil {
+		return nil, err
+	}
+	if rep.Err != "" {
+		return nil, fmt.Errorf("seed %d keys %d engine %s: %s", o.Seed, keys, engine, rep.Err)
+	}
+	return rep, nil
+}
+
+// writeAmp guards the division (a schedule with zero dirty bytes would
+// be a broken workload; surface it as +Inf-free zero).
+func writeAmp(written, dirty uint64) float64 {
+	if dirty == 0 {
+		return 0
+	}
+	return float64(written) / float64(dirty)
+}
+
+// RunLSMBench sweeps both engines across store sizes and runs the read
+// microbench.
+func RunLSMBench(o LSMBenchOptions) (*LSMResult, error) {
+	if len(o.Keys) == 0 {
+		o.Keys = lsmKeys
+	}
+	if o.ValBytes == 0 {
+		o.ValBytes = DefaultLSMValBytes
+	}
+	codec, err := lsm.CodecFor(o.Preset)
+	if err != nil {
+		return nil, err
+	}
+	res := &LSMResult{Preset: codec.Name}
+	for _, keys := range o.Keys {
+		flat, err := runLSMOnce(o, keys, persist.EngineFlat)
+		if err != nil {
+			return nil, err
+		}
+		lsmRep, err := runLSMOnce(o, keys, persist.EngineLSM)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, &LSMRow{
+			Seed:     o.Seed,
+			Keys:     keys,
+			ValBytes: o.ValBytes,
+
+			FlatDirtyBytes:   flat.DirtyBytes,
+			FlatWrittenBytes: flat.WrittenBytes,
+			FlatWriteAmp:     writeAmp(flat.WrittenBytes, flat.DirtyBytes),
+			LSMDirtyBytes:    lsmRep.DirtyBytes,
+			LSMWrittenBytes:  lsmRep.WrittenBytes,
+			LSMWriteAmp:      writeAmp(lsmRep.WrittenBytes, lsmRep.DirtyBytes),
+
+			FlatRecoveryNS: flat.RecoveryNS,
+			LSMRecoveryNS:  lsmRep.RecoveryNS,
+
+			Compactions:      lsmRep.Compactions,
+			FlushFaults:      lsmRep.FlushFaults,
+			CompactionFaults: lsmRep.CompactionFaults,
+
+			CkptRecoveries:   lsmRep.CkptRecoveries,
+			FlatLinearizable: flat.Checked && flat.Linearizable,
+			LSMLinearizable:  lsmRep.Checked && lsmRep.Linearizable,
+		})
+		releaseMemory()
+	}
+	read, err := runLSMReadBench(o)
+	if err != nil {
+		return nil, err
+	}
+	res.Read = read
+	return res, nil
+}
+
+// runLSMReadBench builds a compacted tree directly over the NVMe cost
+// model and measures the three read regimes. Fully deterministic: fixed
+// key set, fixed probe order, virtual clock only.
+func runLSMReadBench(o LSMBenchOptions) (*LSMReadBench, error) {
+	const keys = 512
+	const absent = 256
+	cfg := lsm.Config{Preset: o.Preset}
+	rb := &LSMReadBench{Keys: keys, Lookups: 2 * keys, Absent: absent}
+
+	s := sim.NewScheduler()
+	var benchErr error
+	s.Spawn("lsm-read-bench", func(p *sim.Proc) {
+		disk := persist.NewDisk(persist.DiskConfig{})
+		tr, err := lsm.NewTree(persist.LSMDevice(disk), cfg)
+		if err != nil {
+			benchErr = err
+			return
+		}
+		// Load in flush-sized batches, compacting whenever due, so the
+		// final tree has the leveled shape a live replica would.
+		// Present keys are the even OIDs; the absent probes are the odd
+		// OIDs between them, inside every run's [MinOID, MaxOID] span, so
+		// an absent lookup reaches the bloom filters instead of being
+		// screened by the key-range check.
+		var tmp uint64
+		const batches = 2 * lsm.DefaultL0Trigger
+		for b := 0; b < batches; b++ {
+			mt := lsm.NewMemtable()
+			for i := b; i < keys; i += batches {
+				tmp++
+				val := make([]byte, o.ValBytes)
+				val[0] = byte(i)
+				mt.Insert(store.OID(2*i), tmp, val)
+			}
+			if _, ok := tr.Flush(p, mt, tmp, nil, nil, nil); !ok {
+				benchErr = fmt.Errorf("bench flush failed")
+				return
+			}
+			for tr.NeedsCompaction() {
+				if _, ok := tr.CompactOnce(p, nil); !ok {
+					break
+				}
+			}
+		}
+		// Drop flush-warmed cache state: the read waves start cold.
+		tr.Cache().DropAll()
+
+		t0 := p.Now()
+		for wave := 0; wave < 2; wave++ {
+			for i := 0; i < keys; i++ {
+				if _, ok := tr.Get(p, store.OID(2*i)); !ok {
+					benchErr = fmt.Errorf("present key %d missing", 2*i)
+					return
+				}
+			}
+		}
+		rb.PresentNS = int64(p.Now() - t0)
+		t0 = p.Now()
+		for i := 0; i < absent; i++ {
+			if _, ok := tr.Get(p, store.OID(2*i+1)); ok {
+				benchErr = fmt.Errorf("absent key %d present", 2*i+1)
+				return
+			}
+		}
+		rb.AbsentNS = int64(p.Now() - t0)
+		st := tr.Stats()
+		rb.CacheHits, rb.CacheMisses = st.CacheHits, st.CacheMisses
+		rb.BloomNegatives = st.BloomNegatives
+		if tot := rb.CacheHits + rb.CacheMisses; tot > 0 {
+			rb.CacheHitRate = float64(rb.CacheHits) / float64(tot)
+		}
+	})
+	if err := s.Run(); err != nil {
+		return nil, err
+	}
+	if benchErr != nil {
+		return nil, benchErr
+	}
+	return rb, nil
+}

@@ -56,6 +56,34 @@ func TestDurableCrashRecoverLinearizes(t *testing.T) {
 	}
 }
 
+// TestDurableAimedFaults: the durable profile's first two rounds aim at
+// the engine's exact virtual instants — a crash a few microseconds into
+// a memtable flush's append+sync window, and one inside a compaction's
+// writeback — so the run must record both an aborted flush and an
+// aborted compaction (and still linearize; covered above for other
+// seeds, re-asserted here since aborted background I/O is exactly where
+// a torn manifest would surface). Whether the mid-flush crash catches a
+// run in flight is workload-phase dependent, so the seeds are ones the
+// schedule arithmetic provably hits.
+func TestDurableAimedFaults(t *testing.T) {
+	for _, seed := range []int64{3, 7} {
+		rep := runDurable(t, seed, true)
+		if rep.Err != "" || !rep.Checked || !rep.Linearizable {
+			t.Fatalf("seed %d: err=%q checked=%v lin=%v", seed, rep.Err, rep.Checked, rep.Linearizable)
+		}
+		if rep.FlushFaults == 0 {
+			t.Fatalf("seed %d: no flush caught mid-write (FlushFaults=0)", seed)
+		}
+		if rep.CompactionFaults == 0 {
+			t.Fatalf("seed %d: no compaction caught mid-writeback (CompactionFaults=0)", seed)
+		}
+		if rep.Compactions == 0 || rep.WrittenBytes <= rep.DirtyBytes {
+			t.Fatalf("seed %d: LSM engine not exercised (compactions=%d written=%d dirty=%d)",
+				seed, rep.Compactions, rep.WrittenBytes, rep.DirtyBytes)
+		}
+	}
+}
+
 // TestDurableDeltaBeatsFullTransfer: with checkpoints, the bytes shipped
 // by peers during recovery must be strictly below the checkpoint-free
 // baseline for the same schedule — the whole point of the delta path.

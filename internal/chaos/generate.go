@@ -6,6 +6,8 @@ import (
 	"sort"
 
 	"heron/internal/lease"
+	"heron/internal/lsm"
+	"heron/internal/persist"
 	"heron/internal/sim"
 )
 
@@ -150,27 +152,88 @@ func genSlowNIC(rng *rand.Rand, partitions, replicas int) []Event {
 	return evs
 }
 
-// genDurable emits sequential single-replica crash→recover rounds, sized
-// for the durable-checkpoint harness: each crashed replica is held down
-// long enough for several checkpoint intervals to elapse on its peers,
-// then recovered — exercising checkpoint restore plus delta transfer
-// (and, across rounds, truncated-log repair paths).
+// genDurable emits three sequential single-replica crash→recover
+// rounds, each held long enough for several checkpoint intervals to
+// elapse on the peers — exercising checkpoint restore plus delta
+// transfer (and, across rounds, truncated-log repair paths).
+//
+// The rounds aim at the durable engine's exact virtual instants, whose
+// arithmetic the persist layer exports: member flushes tick at
+// StaggerOffset + k*Interval and compactions half an interval later.
+// Round one lands a few microseconds into a memtable flush (inside the
+// append+sync window, so the flush aborts and its partial run is
+// discarded); round two lands just after a compaction tick — on a
+// multiple-of-L0Trigger tick, when steady flushing has L0 full — so an
+// in-flight compaction aborts mid-writeback; round three is an
+// unaligned crash, preserving the original profile's coverage of
+// arbitrary instants. Whether an aimed crash actually catches the
+// operation in flight depends on the workload phase (an idle interval
+// produces no run), so fault-count assertions are per-seed.
 func genDurable(rng *rand.Rand, partitions, f int) []Event {
 	if f < 1 {
 		return nil
 	}
-	var evs []Event
-	t := genStart
-	for round := 0; round < 2; round++ {
-		part := rng.Intn(partitions)
-		rank := rng.Intn(2*f + 1)
-		hold := holdMin + sim.Duration(rng.Int63n(int64(holdSpan)))
-		evs = append(evs,
-			Event{At: t, Kind: EvCrash, Part: part, Rank: rank},
-			Event{At: t + hold, Kind: EvRecover, Part: part, Rank: rank},
-		)
-		t += hold + gapMin + sim.Duration(rng.Int63n(int64(gapSpan)))
+	replicas := 2*f + 1
+	interval := persist.DefaultInterval
+	flushAt := func(rank int, k int64) sim.Duration {
+		return persist.StaggerOffset(interval, rank, replicas) + sim.Duration(k)*interval
 	}
+	compactAt := func(rank int, k int64) sim.Duration {
+		return flushAt(rank, k) + interval/2
+	}
+	var evs []Event
+
+	// Round 1: mid-flush. The first flush ticks after the fault window
+	// opens have steady client writes behind them.
+	p1, r1 := rng.Intn(partitions), rng.Intn(replicas)
+	k1 := int64(genStart/interval) + 1 + int64(rng.Intn(3))
+	crash1 := flushAt(r1, k1) + 2*sim.Microsecond + sim.Duration(rng.Int63n(int64(30*sim.Microsecond)))
+	hold1 := holdMin + sim.Duration(rng.Int63n(int64(holdSpan)))
+	evs = append(evs,
+		Event{At: crash1, Kind: EvCrash, Part: p1, Rank: r1},
+		Event{At: crash1 + hold1, Kind: EvRecover, Part: p1, Rank: r1},
+	)
+
+	// Round 2: mid-compaction, while the workload is still writing (L0
+	// only refills while flushes carry new runs). On a multi-partition
+	// topology the round runs on a different partition and may overlap
+	// round 1 — each group still has at most one member down; a
+	// single-partition topology falls back to a strictly sequential
+	// round after round 1's recovery.
+	p2, r2 := p1, rng.Intn(replicas)
+	// Steady early-workload writes dirty every interval, so L0 reaches
+	// L0Trigger runs at exactly the L0Trigger-th tick — the one compaction
+	// instant a short workload is guaranteed to have.
+	k2 := int64(lsm.DefaultL0Trigger)
+	if partitions > 1 {
+		p2 = (p1 + 1 + rng.Intn(partitions-1)) % partitions
+	} else {
+		if r2 == r1 {
+			r2 = (r1 + 1) % replicas
+		}
+		k2 += int64((crash1 + hold1) / interval)
+	}
+	crash2 := compactAt(r2, k2) + 2*sim.Microsecond + sim.Duration(rng.Int63n(int64(40*sim.Microsecond)))
+	hold2 := holdMin + sim.Duration(rng.Int63n(int64(holdSpan)))
+	evs = append(evs,
+		Event{At: crash2, Kind: EvCrash, Part: p2, Rank: r2},
+		Event{At: crash2 + hold2, Kind: EvRecover, Part: p2, Rank: r2},
+	)
+
+	// Round 3: unaligned, as in the original profile, strictly after
+	// both recoveries.
+	p3, r3 := rng.Intn(partitions), rng.Intn(replicas)
+	end := crash1 + hold1
+	if crash2+hold2 > end {
+		end = crash2 + hold2
+	}
+	t3 := end + gapMin + sim.Duration(rng.Int63n(int64(gapSpan)))
+	hold3 := holdMin + sim.Duration(rng.Int63n(int64(holdSpan)))
+	evs = append(evs,
+		Event{At: t3, Kind: EvCrash, Part: p3, Rank: r3},
+		Event{At: t3 + hold3, Kind: EvRecover, Part: p3, Rank: r3},
+	)
+	sortEvents(evs)
 	return evs
 }
 

@@ -19,13 +19,24 @@ import (
 
 type kvApp struct {
 	part core.PartitionID
+	// valBytes pads every written value to this size (>= 8; the logical
+	// sum lives in the first 8 bytes) so store-size sweeps can scale the
+	// durable footprint without changing the checked semantics.
+	valBytes int
 	// aux mirrors applied writes outside the store, exercising the
 	// auxiliary-state half of state transfer on every recovery.
 	aux map[store.OID]uint64
 }
 
 func newKVApp(part core.PartitionID, _ int) core.Application {
-	return &kvApp{part: part, aux: make(map[store.OID]uint64)}
+	return &kvApp{part: part, valBytes: 8, aux: make(map[store.OID]uint64)}
+}
+
+// newKVAppSized returns an application factory with padded values.
+func newKVAppSized(valBytes int) func(core.PartitionID, int) core.Application {
+	return func(part core.PartitionID, _ int) core.Application {
+		return &kvApp{part: part, valBytes: valBytes, aux: make(map[store.OID]uint64)}
+	}
 }
 
 // kvOID builds an OID owned by a partition.
@@ -87,7 +98,7 @@ func (a *kvApp) Execute(ctx *core.ExecContext) core.Outcome {
 	}
 	out := core.Outcome{Response: encodeKVVal(sum)}
 	for _, oid := range req.writes {
-		out.Writes = append(out.Writes, core.Write{OID: oid, Val: encodeKVVal(sum)})
+		out.Writes = append(out.Writes, core.Write{OID: oid, Val: encodeKVValN(sum, a.valBytes)})
 		if kvPartitioner.PartitionOf(oid) == a.part {
 			a.aux[oid] = sum
 		}
@@ -124,6 +135,18 @@ func encodeKVVal(v uint64) []byte {
 	w := wire.NewWriter(8)
 	w.U64(v)
 	return w.Finish()
+}
+
+// encodeKVValN encodes v zero-padded to n bytes (n >= 8); decodeKVVal
+// reads only the leading u64, so padded and unpadded values decode
+// identically.
+func encodeKVValN(v uint64, n int) []byte {
+	if n < 8 {
+		n = 8
+	}
+	out := make([]byte, n)
+	copy(out, encodeKVVal(v))
+	return out
 }
 
 func decodeKVVal(b []byte) uint64 {
@@ -181,7 +204,11 @@ func kvModel() lincheck.Model {
 
 var _ core.AuxSyncer = (*kvApp)(nil)
 
-// slotCapacity sizes a replica store for the workload's keys.
-func slotCapacity(keys int) int {
-	return keys*store.SlotSize(8) + 1<<12
+// slotCapacity sizes a replica store for the workload's keys at the
+// configured value size.
+func slotCapacity(keys, valBytes int) int {
+	if valBytes < 8 {
+		valBytes = 8
+	}
+	return keys*store.SlotSize(valBytes) + 1<<12
 }

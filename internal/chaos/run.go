@@ -23,6 +23,9 @@ type Options struct {
 	Partitions int
 	Replicas   int
 	Keys       int // objects per partition
+	// ValBytes pads written values to this size (default 8 — the bare
+	// sum). Store-size sweeps scale the durable footprint with it.
+	ValBytes int
 
 	Clients      int
 	OpsPerClient int // Clients*OpsPerClient must stay within lincheck's 64-op bound
@@ -105,6 +108,23 @@ type Report struct {
 	RecoveryNS         int64  `json:"recovery_ns,omitempty"`
 	TruncatedEntries   uint64 `json:"truncated_log_entries,omitempty"`
 
+	// Write-path metrics (engine-comparable): DirtyBytes is the logical
+	// volume that changed between checkpoints, WrittenBytes the physical
+	// volume the engine wrote for it — their ratio is write
+	// amplification. The lsm_* fields are populated only under the LSM
+	// engine; FlushFaults/CompactionFaults count flushes and compactions
+	// a mid-operation crash aborted.
+	DirtyBytes         uint64 `json:"dirty_bytes,omitempty"`
+	WrittenBytes       uint64 `json:"written_bytes,omitempty"`
+	Compactions        uint64 `json:"lsm_compactions,omitempty"`
+	CompactionBytesIn  uint64 `json:"lsm_compaction_bytes_in,omitempty"`
+	CompactionBytesOut uint64 `json:"lsm_compaction_bytes_out,omitempty"`
+	CacheHits          uint64 `json:"lsm_cache_hits,omitempty"`
+	CacheMisses        uint64 `json:"lsm_cache_misses,omitempty"`
+	BloomNegatives     uint64 `json:"lsm_bloom_negatives,omitempty"`
+	FlushFaults        uint64 `json:"flush_faults,omitempty"`
+	CompactionFaults   uint64 `json:"compaction_faults,omitempty"`
+
 	// Lease metrics (populated when the run attaches a lease manager):
 	// reads answered locally by a holder, reads that fell back to the
 	// ordered path, and grant/revoke commands submitted.
@@ -140,19 +160,23 @@ func Run(opt Options) (*Report, error) {
 			id++
 		}
 	}
+	valBytes := opt.ValBytes
+	if valBytes < 8 {
+		valBytes = 8
+	}
 	cfg := core.DefaultConfig(multicast.DefaultConfig(layout))
-	cfg.StoreCapacity = slotCapacity(opt.Keys)
-	d, err := core.NewDeployment(s, cfg, newKVApp, kvPartitioner)
+	cfg.StoreCapacity = slotCapacity(opt.Keys, valBytes)
+	d, err := core.NewDeployment(s, cfg, newKVAppSized(valBytes), kvPartitioner)
 	if err != nil {
 		return nil, err
 	}
 	err = d.PopulateAll(func(part core.PartitionID, rank int, rep *core.Replica) error {
 		for k := 0; k < opt.Keys; k++ {
 			oid := kvOID(part, uint32(k))
-			if err := rep.Store().Register(oid, 8); err != nil {
+			if err := rep.Store().Register(oid, valBytes); err != nil {
 				return err
 			}
-			if err := rep.Store().Init(oid, encodeKVVal(0)); err != nil {
+			if err := rep.Store().Init(oid, encodeKVValN(0, valBytes)); err != nil {
 				return err
 			}
 		}
@@ -322,6 +346,16 @@ func Run(opt Options) (*Report, error) {
 		ls := pl.Stats()
 		rep.Checkpoints = ls.Checkpoints
 		rep.CheckpointBytes = ls.CheckpointBytes
+		rep.DirtyBytes = ls.DirtyBytes
+		rep.WrittenBytes = ls.WrittenBytes
+		rep.Compactions = ls.Compactions
+		rep.CompactionBytesIn = ls.CompactionBytesIn
+		rep.CompactionBytesOut = ls.CompactionBytesOut
+		rep.CacheHits = ls.CacheHits
+		rep.CacheMisses = ls.CacheMisses
+		rep.BloomNegatives = ls.BloomNegatives
+		rep.FlushFaults = ls.FlushAborts
+		rep.CompactionFaults = ls.CompactionAborts
 	}
 	if mgr != nil {
 		rep.LeaseGrants = mgr.Grants

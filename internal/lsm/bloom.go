@@ -1,0 +1,82 @@
+package lsm
+
+import (
+	"heron/internal/store"
+	"heron/internal/wire"
+)
+
+// bloomFilter is a standard double-hashing bloom filter (Kirsch &
+// Mitzenmacher): k probe positions derived from two 64-bit halves of a
+// mixed key hash. At the default 10 bits per key the expected false
+// positive rate is under 1%.
+type bloomFilter struct {
+	k     uint32
+	nbits uint32
+	bits  []byte
+}
+
+// newBloom sizes a filter for n keys at bitsPerKey.
+func newBloom(n, bitsPerKey int) *bloomFilter {
+	if n < 1 {
+		n = 1
+	}
+	nbits := n * bitsPerKey
+	if nbits < 64 {
+		nbits = 64
+	}
+	nbits = (nbits + 7) &^ 7
+	k := uint32(float64(bitsPerKey) * 0.69) // ln 2 ≈ 0.693
+	if k < 1 {
+		k = 1
+	}
+	if k > 30 {
+		k = 30
+	}
+	return &bloomFilter{k: k, nbits: uint32(nbits), bits: make([]byte, nbits/8)}
+}
+
+func (b *bloomFilter) add(h uint64) {
+	h1, h2 := uint32(h), uint32(h>>32)
+	for i := uint32(0); i < b.k; i++ {
+		idx := (h1 + i*h2) % b.nbits
+		b.bits[idx/8] |= 1 << (idx % 8)
+	}
+}
+
+func (b *bloomFilter) mayContain(h uint64) bool {
+	h1, h2 := uint32(h), uint32(h>>32)
+	for i := uint32(0); i < b.k; i++ {
+		idx := (h1 + i*h2) % b.nbits
+		if b.bits[idx/8]&(1<<(idx%8)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (b *bloomFilter) encode() []byte {
+	w := wire.NewWriter(12 + len(b.bits))
+	w.U32(b.k)
+	w.U32(b.nbits)
+	w.Bytes(b.bits)
+	return w.Finish()
+}
+
+func decodeBloom(buf []byte) (*bloomFilter, bool) {
+	r := wire.NewReader(buf)
+	b := &bloomFilter{k: r.U32(), nbits: r.U32()}
+	b.bits = r.Bytes()
+	if r.Err() != nil || b.k == 0 || b.nbits == 0 || len(b.bits) != int(b.nbits/8) {
+		return nil, false
+	}
+	return b, true
+}
+
+// oidHash mixes an object ID through the splitmix64 finalizer so dense
+// sequential OIDs spread uniformly over the filter.
+func oidHash(oid store.OID) uint64 {
+	z := uint64(oid) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

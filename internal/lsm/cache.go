@@ -1,0 +1,87 @@
+package lsm
+
+import "container/list"
+
+// cacheKey addresses one data block of one run.
+type cacheKey struct {
+	run string
+	idx int
+}
+
+type cacheEntry struct {
+	key cacheKey
+	raw []byte
+}
+
+// BlockCache is a byte-capped LRU over raw (decompressed) data blocks.
+// Hit/miss accounting lives with the tree stats; the cache itself only
+// tracks occupancy. Eviction order is fully deterministic: virtual time
+// serializes all accesses.
+type BlockCache struct {
+	capBytes  int
+	usedBytes int
+	ll        *list.List
+	m         map[cacheKey]*list.Element
+}
+
+// NewBlockCache creates a cache holding up to capBytes of raw blocks.
+func NewBlockCache(capBytes int) *BlockCache {
+	return &BlockCache{capBytes: capBytes, ll: list.New(), m: make(map[cacheKey]*list.Element)}
+}
+
+// Get returns the cached raw block, refreshing its recency.
+func (c *BlockCache) Get(run string, idx int) ([]byte, bool) {
+	el, ok := c.m[cacheKey{run, idx}]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).raw, true
+}
+
+// Put inserts a block, evicting least-recently-used blocks past the cap.
+func (c *BlockCache) Put(run string, idx int, raw []byte) {
+	key := cacheKey{run, idx}
+	if el, ok := c.m[key]; ok {
+		c.usedBytes += len(raw) - len(el.Value.(*cacheEntry).raw)
+		el.Value.(*cacheEntry).raw = raw
+		c.ll.MoveToFront(el)
+	} else {
+		c.m[key] = c.ll.PushFront(&cacheEntry{key: key, raw: raw})
+		c.usedBytes += len(raw)
+	}
+	for c.usedBytes > c.capBytes && c.ll.Len() > 1 {
+		back := c.ll.Back()
+		e := back.Value.(*cacheEntry)
+		c.usedBytes -= len(e.raw)
+		delete(c.m, e.key)
+		c.ll.Remove(back)
+	}
+}
+
+// DropRun evicts every block of a run — called when the run's segment
+// is deleted (compaction GC or crash-abort cleanup).
+func (c *BlockCache) DropRun(run string) {
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		e := el.Value.(*cacheEntry)
+		if e.key.run == run {
+			c.usedBytes -= len(e.raw)
+			delete(c.m, e.key)
+			c.ll.Remove(el)
+		}
+		el = next
+	}
+}
+
+// DropAll empties the cache — benchmarks use it to start read phases
+// cold after flush/compaction traffic warmed the working set.
+func (c *BlockCache) DropAll() {
+	c.usedBytes = 0
+	c.ll.Init()
+	c.m = make(map[cacheKey]*list.Element)
+}
+
+// Used returns resident raw bytes; Blocks the resident block count.
+func (c *BlockCache) Used() int   { return c.usedBytes }
+func (c *BlockCache) Blocks() int { return c.ll.Len() }

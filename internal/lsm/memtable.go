@@ -1,0 +1,54 @@
+package lsm
+
+import (
+	"sort"
+
+	"heron/internal/store"
+)
+
+// Memtable buffers the dirty-slot stream between flushes: the newest
+// captured version per object since the last manifest. In Heron the
+// execution path's update log is the write-ahead record, so the
+// memtable needs no recovery story of its own — it is rebuilt from the
+// log-covered dirty set at flush time.
+type Memtable struct {
+	ents  map[store.OID]Entry
+	bytes int
+}
+
+// NewMemtable returns an empty memtable.
+func NewMemtable() *Memtable {
+	return &Memtable{ents: make(map[store.OID]Entry)}
+}
+
+// Insert records the value of oid at tmp, keeping the newest version.
+func (m *Memtable) Insert(oid store.OID, tmp uint64, val []byte) {
+	if old, ok := m.ents[oid]; ok {
+		if old.Tmp >= tmp {
+			return
+		}
+		m.bytes -= entryBytes(old)
+	}
+	e := Entry{OID: oid, Tmp: tmp, Val: append([]byte(nil), val...)}
+	m.ents[oid] = e
+	m.bytes += entryBytes(e)
+}
+
+// Len returns the number of distinct objects buffered.
+func (m *Memtable) Len() int { return len(m.ents) }
+
+// RawBytes returns the encoded size of the buffered entries — the
+// logical dirty volume a flush will write.
+func (m *Memtable) RawBytes() int { return m.bytes }
+
+// Sorted returns the entries in ascending OID order (the SSTable
+// builder's required input order; also what makes flushes deterministic
+// regardless of map iteration).
+func (m *Memtable) Sorted() []Entry {
+	out := make([]Entry, 0, len(m.ents))
+	for _, e := range m.ents {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].OID < out[j].OID })
+	return out
+}

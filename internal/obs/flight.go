@@ -38,6 +38,7 @@ const (
 	FltCheckpoint                      // durable checkpoint written
 	FltVerbError                       // rdma verb posting/completion error
 	FltOutlier                         // latency outlier trigger marker
+	FltCompaction                      // lsm background compaction committed
 
 	fltCount
 )
@@ -45,7 +46,7 @@ const (
 var fltNames = [fltCount]string{
 	"submit", "deliver", "commit", "view_change", "exec", "state_transfer",
 	"crash", "recover", "partition", "heal", "slow_link", "reconfig",
-	"checkpoint", "verb_error", "outlier",
+	"checkpoint", "verb_error", "outlier", "compaction",
 }
 
 // String names the kind for the dumped trace.

@@ -19,6 +19,7 @@ const flushChunk = 64 << 10
 type CkptStats struct {
 	Checkpoints     uint64 // manifests swapped
 	CheckpointBytes uint64 // record + aux bytes written through the medium
+	DirtyBytes      uint64 // record bytes actually new since the last checkpoint
 	Aborted         uint64 // captures abandoned because the replica crashed
 	Restores        uint64 // successful checkpoint restores
 	RestoreBytes    uint64 // bytes read back during restores
@@ -34,11 +35,16 @@ type CkptStats struct {
 // at any point leaves either the previous checkpoint or the new one —
 // never a torn mix.
 type Checkpointer struct {
-	layer *Layer
-	part  core.PartitionID
-	rank  int
-	rep   *core.Replica
-	disk  *Disk
+	layer   *Layer
+	part    core.PartitionID
+	rank    int
+	members int // partition size at attach, for the stagger offset
+	rep     *core.Replica
+	disk    *Disk
+
+	// eng, when non-nil, replaces the flat capture/restore with the
+	// log-structured engine (Options.Engine).
+	eng *lsmEngine
 
 	seq     uint64   // last successfully manifested checkpoint sequence
 	lastTmp uint64   // snapTmp of that checkpoint
@@ -81,20 +87,68 @@ func (c *Checkpointer) observe(o *obs.Observer) {
 	c.cRestores = o.Counter("persist/restores")
 	c.cRestBytes = o.Counter("persist/restore_bytes")
 	c.flight = o.FlightShard(0)
+	if c.eng != nil {
+		c.eng.observe(o)
+	}
 }
 
-// run is the capture loop: one checkpoint attempt per interval.
+// StaggerOffset spreads the flush instants of a partition's members
+// evenly across one interval, so the group's durable truncation floor
+// advances smoothly instead of in lockstep. Exported because the chaos
+// durable profile mirrors this arithmetic to aim crashes at exact
+// mid-flush virtual instants.
+func StaggerOffset(interval sim.Duration, rank, members int) sim.Duration {
+	if members <= 0 {
+		return 0
+	}
+	return interval * sim.Duration(rank%members) / sim.Duration(members)
+}
+
+// run is the capture loop: one checkpoint attempt per interval, on an
+// absolute staggered schedule — tick k fires at exactly
+// base + StaggerOffset + k*Interval regardless of how long captures
+// take, so flush instants are predictable virtual times (the chaos
+// engine depends on this to land crashes mid-flush).
 func (c *Checkpointer) run(p *sim.Proc) {
-	for {
-		p.Sleep(c.layer.opt.Interval)
+	interval := c.layer.opt.Interval
+	base := int64(p.Now()) + int64(StaggerOffset(interval, c.rank, c.members))
+	for k := int64(1); ; k++ {
+		next := sim.Time(base + k*int64(interval))
+		if d := sim.Duration(next - p.Now()); d > 0 {
+			p.Sleep(d)
+		}
 		c.capture(p)
 	}
 }
 
-// capture writes one checkpoint, or returns without side effects when the
-// replica cannot be captured (crashed, recovering, or no progress since
-// the last checkpoint).
+// capture dispatches one checkpoint attempt to the configured engine.
 func (c *Checkpointer) capture(p *sim.Proc) {
+	if c.eng != nil {
+		c.eng.capture(p)
+		return
+	}
+	c.captureFlat(p)
+}
+
+// advanceFloor performs the post-swap bookkeeping shared by both
+// engines: bound the update log to the retention window and tell the
+// ordering layer this member's durable floor moved (the group log
+// prefix at or below snapTmp is now reclaimable here).
+func (c *Checkpointer) advanceFloor(snapTmp uint64) {
+	if n := len(c.history); n > c.layer.opt.LogRetention {
+		c.rep.Store().Log().Truncate(c.history[n-1-c.layer.opt.LogRetention])
+		c.history = c.history[n-c.layer.opt.LogRetention-1:]
+	}
+	if mc := c.layer.dep.MCProcs[c.part][c.rank]; mc != nil {
+		mc.SetDurableTmp(multicastTs(snapTmp))
+	}
+}
+
+// captureFlat writes one flat full-store checkpoint (the PR 5 engine,
+// kept selectable for A/B benchmarking against the LSM path), or
+// returns without side effects when the replica cannot be captured
+// (crashed, recovering, or no progress since the last checkpoint).
+func (c *Checkpointer) captureFlat(p *sim.Proc) {
 	if c.rep.Crashed() || c.rep.Recovering() {
 		return
 	}
@@ -144,6 +198,12 @@ func (c *Checkpointer) capture(p *sim.Proc) {
 		v, ok := store.ChooseVersion(va, vb, snapTmp+1)
 		if !ok || v.Tmp == 0 {
 			continue
+		}
+		if v.Tmp > c.lastTmp {
+			// Dirty since the last checkpoint — the incremental volume an
+			// LSM flush would write, kept here so flat-vs-LSM write
+			// amplification compares like with like.
+			c.stats.DirtyBytes += uint64(20 + len(v.Val))
 		}
 		w := wire.NewWriter(len(v.Val) + 24)
 		w.U64(uint64(oid))
@@ -209,19 +269,7 @@ func (c *Checkpointer) capture(p *sim.Proc) {
 		return
 	}
 
-	// Retention: drop update-log entries older than the checkpoint from
-	// LogRetention intervals ago, keeping enough delta history to serve
-	// peers recovering from checkpoints a few intervals stale.
-	if n := len(c.history); n > c.layer.opt.LogRetention {
-		st.Log().Truncate(c.history[n-1-c.layer.opt.LogRetention])
-		c.history = c.history[n-c.layer.opt.LogRetention-1:]
-	}
-
-	// Tell the ordering layer this member's durable floor moved: the
-	// group log prefix at or below snapTmp is now reclaimable here.
-	if mc := c.layer.dep.MCProcs[c.part][c.rank]; mc != nil {
-		mc.SetDurableTmp(multicastTs(snapTmp))
-	}
+	c.advanceFloor(snapTmp)
 
 	// GC old segments only after the swap; the manifest never references
 	// a removed segment.
@@ -235,6 +283,14 @@ func (c *Checkpointer) capture(p *sim.Proc) {
 // replica; a reconfiguration joiner borrows a donor's checkpointer). It
 // charges the modeled read cost and returns the covered timestamp.
 func (c *Checkpointer) Restore(p *sim.Proc, r *core.Replica) (uint64, bool) {
+	if c.eng != nil {
+		return c.eng.restore(p, r)
+	}
+	return c.restoreFlat(p, r)
+}
+
+// restoreFlat loads the newest flat checkpoint.
+func (c *Checkpointer) restoreFlat(p *sim.Proc, r *core.Replica) (uint64, bool) {
 	man := c.disk.ReadManifest(p)
 	if man == nil {
 		return 0, false

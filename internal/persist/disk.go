@@ -159,12 +159,29 @@ func (s *Segment) Name() string { return s.name }
 // Append streams data into the segment's device buffer, charging write
 // bandwidth. The bytes are not durable until Sync.
 func (s *Segment) Append(p *sim.Proc, data []byte) {
+	s.AppendCharged(p, data, len(data))
+}
+
+// AppendCharged streams data while charging bandwidth (and counting
+// stats) for charged bytes instead of the stored length — the LSM path
+// keeps raw bytes in memory but charges the modeled compressed on-disk
+// size, so disk stats and write-amplification reflect the physical
+// volume. charged <= 0 falls back to len(data).
+//
+// Appending to a segment that was concurrently removed (compaction GC
+// racing an in-flight writer) is safe: the write completes into the
+// detached object, like writing an unlinked file, and the bytes are
+// simply unreachable afterwards.
+func (s *Segment) AppendCharged(p *sim.Proc, data []byte, charged int) {
 	if len(data) == 0 {
 		return
 	}
-	p.Sleep(sim.Duration(float64(len(data)) / s.disk.cfg.WriteBandwidth))
+	if charged <= 0 {
+		charged = len(data)
+	}
+	p.Sleep(sim.Duration(float64(charged) / s.disk.cfg.WriteBandwidth))
 	s.buf = append(s.buf, data...)
-	s.disk.stats.AppendedBytes += uint64(len(data))
+	s.disk.stats.AppendedBytes += uint64(charged)
 }
 
 // Sync makes every appended byte durable, charging the write + flush
@@ -185,4 +202,38 @@ func (s *Segment) ReadAll(p *sim.Proc) []byte {
 	p.Sleep(s.disk.cfg.ReadLatency + sim.Duration(float64(s.synced)/s.disk.cfg.ReadBandwidth))
 	s.disk.stats.ReadBytes += uint64(s.synced)
 	return append([]byte(nil), s.buf[:s.synced]...)
+}
+
+// ReadAt reads n stored bytes at off, charging first-byte latency plus
+// bandwidth over charged bytes (the modeled compressed transfer size;
+// charged <= 0 falls back to n). ok=false — with nothing charged — when
+// [off, off+n) extends past the durable prefix: bytes appended but never
+// synced are lost to a crash, and a reader observes exactly the synced
+// prefix.
+func (s *Segment) ReadAt(p *sim.Proc, off, n, charged int) ([]byte, bool) {
+	if off < 0 || n < 0 || off+n > s.synced {
+		return nil, false
+	}
+	if charged <= 0 {
+		charged = n
+	}
+	p.Sleep(s.disk.cfg.ReadLatency + sim.Duration(float64(charged)/s.disk.cfg.ReadBandwidth))
+	s.disk.stats.ReadBytes += uint64(charged)
+	return append([]byte(nil), s.buf[off:off+n]...), true
+}
+
+// ReadAtQueued is ReadAt for a read issued back-to-back behind another
+// on the same queue: the device pipelines it, so only bandwidth is
+// charged, no first-byte latency. Recovery streams its known run list
+// this way — one latency for the batch, bandwidth for everything.
+func (s *Segment) ReadAtQueued(p *sim.Proc, off, n, charged int) ([]byte, bool) {
+	if off < 0 || n < 0 || off+n > s.synced {
+		return nil, false
+	}
+	if charged <= 0 {
+		charged = n
+	}
+	p.Sleep(sim.Duration(float64(charged) / s.disk.cfg.ReadBandwidth))
+	s.disk.stats.ReadBytes += uint64(charged)
+	return append([]byte(nil), s.buf[off:off+n]...), true
 }
